@@ -1,0 +1,423 @@
+// Package repro's root benchmark harness regenerates every table and
+// figure of the paper's evaluation (see DESIGN.md's experiment index
+// E1–E9). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark prints its reproduced rows once (so the output is a
+// self-contained reproduction report) and then times the code path that
+// produces them.
+package repro
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/apps/babelstream"
+	"repro/internal/apps/hpcg"
+	"repro/internal/apps/hpgmg"
+	"repro/internal/buildsys"
+	"repro/internal/concretize"
+	"repro/internal/core"
+	"repro/internal/env"
+	"repro/internal/machine"
+	"repro/internal/platform"
+	"repro/internal/repo"
+	"repro/internal/spec"
+	"repro/internal/suite"
+)
+
+var printOnce sync.Map
+
+// once prints a reproduction block a single time per process, keyed by
+// name, so repeated benchmark iterations stay quiet.
+func once(name string, f func()) {
+	if _, loaded := printOnce.LoadOrStore(name, true); !loaded {
+		f()
+	}
+}
+
+// --- E1: Figure 2 — BabelStream Triad efficiency survey ---------------------
+
+func BenchmarkFigure2BabelStream(b *testing.B) {
+	models := machine.AllModels()
+	targets := babelstream.PaperTargets()
+	var cells []babelstream.SurveyCell
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells, err = babelstream.Survey(models, targets, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	once("figure2", func() {
+		fmt.Println("\n=== Figure 2: BabelStream Triad efficiency (model x platform) ===")
+		fmt.Printf("%-12s %-28s %10s %10s %6s\n", "model", "platform", "triad GB/s", "peak GB/s", "eff")
+		for _, c := range cells {
+			if !c.Supported {
+				fmt.Printf("%-12s %-28s %10s %10.0f %6s  (%s)\n", c.Model, c.Platform, "*", c.PeakGBs, "*", c.Reason)
+				continue
+			}
+			fmt.Printf("%-12s %-28s %10.1f %10.0f %5.1f%%\n", c.Model, c.Platform, c.TriadGBs, c.PeakGBs, c.Efficiency*100)
+		}
+	})
+}
+
+// --- E2: Table 1 — processor peaks ------------------------------------------
+
+func BenchmarkTable1ProcessorPeaks(b *testing.B) {
+	var rows []*platform.Processor
+	for i := 0; i < b.N; i++ {
+		rows = platform.Table1Processors()
+	}
+	b.StopTimer()
+	once("table1", func() {
+		fmt.Println("\n=== Table 1: processors used for BabelStream ===")
+		fmt.Printf("%-8s %-22s %16s %22s\n", "Vendor", "Processor", "Cores/CUs", "Peak Mem BW (GB/s)")
+		for _, p := range rows {
+			fmt.Printf("%-8s %-22s %9dx%-6d %22.1f\n", p.Vendor, p.Name, p.Sockets, p.CoresPerSocket, p.PeakBandwidthGBs)
+		}
+	})
+}
+
+// --- E3/E4: Table 2 — HPCG variants and Equation 1 efficiencies --------------
+
+func BenchmarkTable2HPCGVariants(b *testing.B) {
+	var rows []hpcg.Table2Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = hpcg.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	once("table2", func() {
+		fmt.Println("\n=== Table 2: HPCG variants, GFLOP/s (paper: 24.0/39.0/51.0/18.5 CL; 39.2/NA/124.2/56.0 Rome) ===")
+		for _, r := range rows {
+			rome := fmt.Sprintf("%6.1f", r.Rome)
+			if r.RomeNA {
+				rome = "   N/A"
+			}
+			fmt.Printf("%-16s CL %6.1f   Rome %s\n", r.Variant, r.CascadeLake, rome)
+		}
+	})
+}
+
+func BenchmarkTable2Efficiencies(b *testing.B) {
+	var ei, eaCL, eaRome float64
+	for i := 0; i < b.N; i++ {
+		rows, err := hpcg.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		byName := map[string]hpcg.Table2Row{}
+		for _, r := range rows {
+			byName[r.Variant] = r
+		}
+		ei = byName["intel-avx2"].CascadeLake / byName["original"].CascadeLake
+		eaCL = byName["matrix-free"].CascadeLake / byName["original"].CascadeLake
+		eaRome = byName["matrix-free"].Rome / byName["original"].Rome
+	}
+	b.StopTimer()
+	once("table2eff", func() {
+		fmt.Println("\n=== Equation 1 efficiencies (paper: E_I=1.625, E_A=2.125 CL, E_A=3.168 Rome) ===")
+		fmt.Printf("E_I = %.3f   E_A(CL) = %.3f   E_A(Rome) = %.3f\n", ei, eaCL, eaRome)
+	})
+}
+
+// --- E5: Table 3 — concretized dependencies per system -----------------------
+
+func BenchmarkTable3Concretization(b *testing.B) {
+	reg := env.UKRegistry()
+	builtin := repo.Builtin()
+	systems := []string{"archer2", "cosma8", "csd3", "isambard-macs"}
+	type row struct{ sys, gcc, python, mpi string }
+	var rows []row
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for _, sysName := range systems {
+			cfg := reg.ForSystem(sysName)
+			res, err := concretize.Concretize(spec.MustParse("hpgmg%gcc"), cfg.ConcretizeOptions(builtin, "x86_64"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := row{sys: sysName, gcc: res.Spec.Compiler.Version.String()}
+			if p := res.Spec.Lookup("python"); p != nil {
+				r.python = p.Version.String()
+			}
+			for _, name := range []string{"cray-mpich", "mvapich2", "openmpi", "mpich"} {
+				if m := res.Spec.Lookup(name); m != nil {
+					r.mpi = name + " " + m.Version.String()
+					break
+				}
+			}
+			rows = append(rows, r)
+		}
+	}
+	b.StopTimer()
+	once("table3", func() {
+		fmt.Printf("\n=== Table 3: concretized deps of hpgmg%%gcc (paper: 11.2.0/3.10.12/cray-mpich 8.1.23 etc.) ===\n")
+		for _, r := range rows {
+			fmt.Printf("%-16s gcc %-8s python %-8s %s\n", r.sys, r.gcc, r.python, r.mpi)
+		}
+	})
+}
+
+// --- E6: Table 4 — HPGMG-FV across systems -----------------------------------
+
+func BenchmarkTable4HPGMG(b *testing.B) {
+	var rows []hpgmg.Table4Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = hpgmg.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	once("table4", func() {
+		fmt.Println("\n=== Table 4: HPGMG-FV MDOF/s (paper: 95.36/83.43/62.18 archer2 ... 30.59/25.55/17.55 isambard) ===")
+		for _, r := range rows {
+			fmt.Printf("%-16s l0 %7.2f  l1 %7.2f  l2 %7.2f\n", r.System, r.L0, r.L1, r.L2)
+		}
+	})
+}
+
+// --- E7: Table 5 — system inventory ------------------------------------------
+
+func BenchmarkTable5Systems(b *testing.B) {
+	var estate *platform.Estate
+	for i := 0; i < b.N; i++ {
+		estate = platform.UKEstate()
+	}
+	b.StopTimer()
+	once("table5", func() {
+		fmt.Println("\n=== Table 5: systems and processors of the study ===")
+		for _, name := range estate.Names() {
+			sys, _ := estate.System(name)
+			for _, p := range sys.Partitions {
+				proc := p.Processor
+				fmt.Printf("%-16s %-14s %-34s %d cores/socket, %d sockets @ %.2f GHz\n",
+					name, p.Name, proc.String(), proc.CoresPerSocket, proc.Sockets, proc.ClockGHz)
+			}
+		}
+	})
+}
+
+// --- E8: Spack-built vs manually-built performance parity ---------------------
+
+func BenchmarkSpackVsManualBuild(b *testing.B) {
+	// §3.1 observes "no specific degradation ... between building
+	// BabelStream via Spack ... from invoking the CMake manually". Here:
+	// the benchmark executed out of a framework-managed install performs
+	// identically to a direct invocation — same payload, measured both
+	// ways on the simulated Milan platform.
+	// Use the cache-defeating array the size rule picks for Milan, the
+	// same one the framework-managed run will use.
+	cfg := babelstream.Config{
+		ArraySize: babelstream.DefaultArraySize(platform.EPYCMilan7763.L3CacheTotalMB()),
+		NumTimes:  10,
+	}
+	var direct, managed float64
+	for i := 0; i < b.N; i++ {
+		res, err := babelstream.Simulate(platform.EPYCMilan7763, machine.OMP, cfg, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		direct = res.TriadGBs()
+	}
+	b.StopTimer()
+	tree := b.TempDir()
+	runner := core.New(filepath.Join(tree, "install"), "")
+	bench := suite.NewBabelStream("omp")
+	rep, err := runner.Run(bench, core.Options{System: "paderborn-milan"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	managed = rep.FOMs["triad_mbps"].Value / 1000
+	once("e8", func() {
+		fmt.Printf("\n=== E8: direct run %.1f GB/s vs framework-managed run %.1f GB/s (parity expected) ===\n", direct, managed)
+	})
+	if managed < direct*0.9 || managed > direct*1.1 {
+		b.Fatalf("framework-managed run diverges: %.1f vs %.1f GB/s", managed, direct)
+	}
+}
+
+// --- E9: rebuild-every-run ablation (Principle 3 cost) -------------------------
+
+func BenchmarkRebuildAblation(b *testing.B) {
+	builtin := repo.Builtin()
+	reg := env.UKRegistry()
+	cfg := reg.ForSystem("archer2")
+	res, err := concretize.Concretize(spec.MustParse("babelstream model=omp"), cfg.ConcretizeOptions(builtin, "x86_64"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name    string
+		rebuild bool
+	}{
+		{"RebuildEveryRun", true},
+		{"ReuseCache", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			dir := b.TempDir()
+			builder := buildsys.NewBuilder(dir, builtin)
+			if _, err := builder.Install(res.Spec); err != nil {
+				b.Fatal(err)
+			}
+			builder.RebuildEveryRun = mode.rebuild
+			var simulated float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				records, err := builder.Install(res.Spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				simulated = buildsys.TotalBuildTime(records).Seconds()
+			}
+			b.StopTimer()
+			b.ReportMetric(simulated, "simulated-build-s/run")
+		})
+	}
+	once("e9", func() {
+		fmt.Println("\n=== E9: Principle 3 ablation — simulated-build-s/run metric shows the")
+		fmt.Println("    cost of rebuilding every run vs trusting the cache (and what Principle 3 buys) ===")
+	})
+}
+
+// --- Real host performance benches (the library's own kernels) ----------------
+
+func BenchmarkHostBabelStreamTriad(b *testing.B) {
+	n := 1 << 22
+	cfg := babelstream.Config{ArraySize: n, NumTimes: 1}
+	var triad float64
+	b.SetBytes(int64(3 * 8 * n))
+	for i := 0; i < b.N; i++ {
+		res, err := babelstream.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		triad = res.MBps["Triad"]
+	}
+	b.ReportMetric(triad/1000, "GB/s")
+}
+
+func BenchmarkHostHPCG(b *testing.B) {
+	for _, variant := range hpcg.Variants() {
+		b.Run(variant, func(b *testing.B) {
+			var gf float64
+			for i := 0; i < b.N; i++ {
+				res, err := hpcg.Run(hpcg.Config{Variant: variant, Grid: hpcg.Grid{NX: 32, NY: 32, NZ: 32}, MaxIters: 10})
+				if err != nil {
+					b.Fatal(err)
+				}
+				gf = res.GFlops
+			}
+			b.ReportMetric(gf, "GFLOP/s")
+		})
+	}
+}
+
+func BenchmarkHostHPGMG(b *testing.B) {
+	var mdofs float64
+	for i := 0; i < b.N; i++ {
+		res, err := hpgmg.Run(hpgmg.Config{Log2Dim: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mdofs, _ = res.FOM("l0")
+	}
+	b.ReportMetric(mdofs, "MDOF/s")
+}
+
+// --- Ablation: array size vs apparent bandwidth (the §3.1 2^29 rationale) ----
+
+func BenchmarkArraySizeAblation(b *testing.B) {
+	type point struct {
+		log2 int
+		gbs  float64
+		eff  float64
+	}
+	var series []point
+	for i := 0; i < b.N; i++ {
+		series = series[:0]
+		for _, k := range []int{20, 22, 24, 25, 27, 29} {
+			res, err := babelstream.Simulate(platform.EPYCMilan7763, machine.OMP,
+				babelstream.Config{ArraySize: 1 << k, NumTimes: 10}, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			series = append(series, point{k, res.TriadGBs(), res.TriadGBs() / platform.EPYCMilan7763.PeakBandwidthGBs})
+		}
+	}
+	b.StopTimer()
+	once("arraysize", func() {
+		fmt.Println("\n=== Ablation: BabelStream array size on Milan (why the paper uses 2^29) ===")
+		for _, p := range series {
+			warn := ""
+			if p.eff > 1 {
+				warn = "  <-- cache-inflated, exceeds DRAM peak"
+			}
+			fmt.Printf("2^%-3d triad %7.1f GB/s   %5.1f%% of peak%s\n", p.log2, p.gbs, p.eff*100, warn)
+		}
+	})
+}
+
+// --- Extension: HPGMG weak scaling on the simulated ARCHER2 -------------------
+
+func BenchmarkWeakScalingHPGMG(b *testing.B) {
+	type point struct {
+		nodes int
+		mdofs float64
+	}
+	var series []point
+	for i := 0; i < b.N; i++ {
+		series = series[:0]
+		for _, nodes := range []int{1, 2, 4, 8, 16, 32} {
+			cfg := hpgmg.PaperConfig("archer2", platform.EPYCRome7742)
+			cfg.Nodes = nodes
+			levels, err := hpgmg.Simulate(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			series = append(series, point{nodes, levels[0].MDOFs})
+		}
+	}
+	b.StopTimer()
+	once("weakscaling", func() {
+		fmt.Println("\n=== Extension: HPGMG-FV weak scaling on simulated ARCHER2 (boxes/rank fixed) ===")
+		base := series[0].mdofs
+		for _, p := range series {
+			eff := p.mdofs / (base * float64(p.nodes))
+			fmt.Printf("%3d nodes   l0 %9.2f MDOF/s   weak-scaling efficiency %5.1f%%\n", p.nodes, p.mdofs, eff*100)
+		}
+	})
+}
+
+// --- Extension: HPCG strong scaling on the simulated ARCHER2 ------------------
+
+func BenchmarkStrongScalingHPCG(b *testing.B) {
+	var points []hpcg.ScalePoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		points, err = hpcg.SimulateStrongScaling("archer2", platform.EPYCRome7742, 512,
+			[]int{1, 2, 4, 8, 16, 32, 64}, 50)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	once("strongscaling", func() {
+		fmt.Println("\n=== Extension: HPCG strong scaling, 512^3 on simulated ARCHER2 ===")
+		for _, p := range points {
+			fmt.Printf("%3d nodes   %9.1f GF/s   speedup %6.2f   parallel efficiency %5.1f%%\n",
+				p.Nodes, p.GFlops, p.Speedup, p.Efficiency*100)
+		}
+	})
+}

@@ -1,0 +1,242 @@
+// Command benchctl is the framework's ReFrame-equivalent driver: it runs
+// a benchmark from the suite on a configured system through the full
+// reproducible pipeline (concretize → build → schedule → run → extract →
+// perflog).
+//
+// Usage mirrors the invocations in the paper's artifact appendix:
+//
+//	benchctl run -b hpgmg-fv --system archer2 \
+//	    -S "hpgmg%gcc" --num-tasks 8 --tasks-per-node 2 --cpus-per-task 8
+//	benchctl run -b babelstream-omp --system isambard-macs:cascadelake \
+//	    -S "babelstream%gcc@9.2.0 +omp"
+//	benchctl script -b hpgmg-fv --system archer2      # show the job script
+//	benchctl list                                     # benchmarks and systems
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataframe"
+	"repro/internal/fom"
+	"repro/internal/machine"
+	"repro/internal/postprocess"
+	"repro/internal/suite"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("no command")
+	}
+	switch args[0] {
+	case "run":
+		return cmdRun(args[1:], false)
+	case "script":
+		return cmdRun(args[1:], true)
+	case "survey":
+		return cmdSurvey(args[1:])
+	case "list":
+		return cmdList()
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  benchctl run    -b <benchmark> --system <sys[,sys...]> [flags]
+  benchctl script -b <benchmark> --system <sys[:partition]> [flags]
+  benchctl survey --system <sys[,sys...]>   BabelStream all-models survey (Figure 2)
+  benchctl list
+
+flags for run/script:
+  -S <spec>            override the build spec (Spack syntax)
+  --num-tasks N        override num_tasks
+  --tasks-per-node N   override num_tasks_per_node
+  --cpus-per-task N    override num_cpus_per_task
+  --account A          override the scheduler account
+  --perflog DIR        perflog root (default ./perflogs)
+  --tree DIR           install tree (default ./install)
+  --no-rebuild         reuse cached builds (disables Principle 3)
+  --trace              print the concretizer's decision trace
+`)
+}
+
+func cmdRun(args []string, scriptOnly bool) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	bench := fs.String("b", "", "benchmark name")
+	system := fs.String("system", "", "target system[:partition]")
+	specText := fs.String("S", "", "build spec override")
+	numTasks := fs.Int("num-tasks", 0, "num_tasks override")
+	tasksPerNode := fs.Int("tasks-per-node", 0, "num_tasks_per_node override")
+	cpusPerTask := fs.Int("cpus-per-task", 0, "num_cpus_per_task override")
+	account := fs.String("account", "", "scheduler account override")
+	perflogRoot := fs.String("perflog", "perflogs", "perflog root directory")
+	tree := fs.String("tree", "install", "install tree directory")
+	noRebuild := fs.Bool("no-rebuild", false, "reuse cached builds")
+	trace := fs.Bool("trace", false, "print the concretization trace")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *bench == "" || *system == "" {
+		return fmt.Errorf("both -b and --system are required")
+	}
+	targets := strings.Split(*system, ",")
+	if scriptOnly && len(targets) != 1 {
+		return fmt.Errorf("script takes exactly one system")
+	}
+	b, err := suite.ByName(*bench)
+	if err != nil {
+		return err
+	}
+	specOverride := *specText
+	if specOverride != "" {
+		// Accept the paper's "+omp" model syntax for BabelStream.
+		specOverride, err = suite.NormalizeModelSpec(specOverride)
+		if err != nil {
+			return err
+		}
+	}
+	runner := core.New(*tree, *perflogRoot)
+	if scriptOnly {
+		runner.PerflogRoot = ""
+	}
+	runner.RebuildEveryRun = !*noRebuild
+	for i, target := range targets {
+		report, err := runner.Run(b, core.Options{
+			System:       strings.TrimSpace(target),
+			Spec:         specOverride,
+			NumTasks:     *numTasks,
+			TasksPerNode: *tasksPerNode,
+			CPUsPerTask:  *cpusPerTask,
+			Account:      *account,
+		})
+		if err != nil {
+			return err
+		}
+		if scriptOnly {
+			fmt.Print(report.JobScript)
+			return nil
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("benchmark: %s\nsystem:    %s:%s\nspec:      %s\n",
+			report.Benchmark, report.System, report.Partition, report.Spec.RootString())
+		if *trace {
+			fmt.Println("concretization trace:")
+			for _, s := range report.SpecTrace {
+				fmt.Println("  " + s)
+			}
+		}
+		fmt.Printf("job:       #%d %s (%.3fs queued, %.3fs run)\n",
+			report.Job.ID, report.Job.State, report.Job.QueueWait(), report.Job.Runtime())
+		if !report.Pass() {
+			return fmt.Errorf("run failed on %s: %s", report.System, report.Entry.Extra["error"])
+		}
+		fmt.Print("figures of merit:\n" + indent(fom.Table(report.FOMs)))
+	}
+	if !scriptOnly {
+		fmt.Printf("perflog:   %s\n", *perflogRoot)
+	}
+	return nil
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	return "  " + strings.Join(lines, "\n  ") + "\n"
+}
+
+func cmdList() error {
+	runner := core.New("", "")
+	fmt.Println("benchmarks:")
+	for _, b := range suite.All() {
+		fmt.Printf("  %-18s spec: %s\n", b.Name(), b.BuildSpec())
+	}
+	fmt.Println("systems:")
+	names := runner.Estate.Names()
+	sort.Strings(names)
+	for _, n := range names {
+		sys, _ := runner.Estate.System(n)
+		var parts []string
+		for _, p := range sys.Partitions {
+			parts = append(parts, fmt.Sprintf("%s (%s, %s)", p.Name, p.Processor.Microarch, p.Scheduler))
+		}
+		fmt.Printf("  %-18s %s\n", n, strings.Join(parts, "; "))
+	}
+	return nil
+}
+
+// cmdSurvey reproduces the Figure 2 survey through the full pipeline:
+// every BabelStream programming model on every target system, with
+// unsupported combinations recorded as "*" cells rather than aborting —
+// exactly how the paper's figure treats them.
+func cmdSurvey(args []string) error {
+	fs := flag.NewFlagSet("survey", flag.ContinueOnError)
+	system := fs.String("system", "isambard-macs:cascadelake,isambard-xci,paderborn-milan,isambard-macs:volta",
+		"comma-separated target systems")
+	perflogRoot := fs.String("perflog", "perflogs", "perflog root directory")
+	tree := fs.String("tree", "install", "install tree directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	runner := core.New(*tree, *perflogRoot)
+	targets := strings.Split(*system, ",")
+
+	f := dataframe.New()
+	var modelCol, platCol []string
+	var effCol []float64
+	for _, model := range machine.AllModels() {
+		bench := suite.NewBabelStream(string(model))
+		for _, target := range targets {
+			target = strings.TrimSpace(target)
+			modelCol = append(modelCol, string(model))
+			platCol = append(platCol, target)
+			_, part, err := runner.Estate.Resolve(target)
+			if err != nil {
+				return err
+			}
+			rep, err := runner.Run(bench, core.Options{System: target})
+			if err != nil || !rep.Pass() {
+				// Unsupported combination: a "*" cell.
+				effCol = append(effCol, math.NaN())
+				continue
+			}
+			triad := rep.FOMs["triad_mbps"].Value / 1000
+			effCol = append(effCol, triad/part.Processor.PeakBandwidthGBs)
+		}
+	}
+	if err := f.AddStringColumn("model", modelCol); err != nil {
+		return err
+	}
+	if err := f.AddStringColumn("platform", platCol); err != nil {
+		return err
+	}
+	if err := f.AddFloatColumn("efficiency", effCol); err != nil {
+		return err
+	}
+	pt, err := f.Pivot("model", "platform", "efficiency")
+	if err != nil {
+		return err
+	}
+	fmt.Print(postprocess.Heatmap(pt, "BabelStream Triad efficiency (fraction of theoretical peak)"))
+	fmt.Printf("perflog: %s\n", *perflogRoot)
+	return nil
+}

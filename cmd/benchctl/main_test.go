@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), ferr
+}
+
+func TestListCommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"hpgmg-fv", "babelstream-omp", "archer2", "isambard-macs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestRunCommandHPGMG(t *testing.T) {
+	dir := t.TempDir()
+	out, err := capture(t, func() error {
+		return run([]string{"run", "-b", "hpgmg-fv", "--system", "archer2",
+			"--perflog", filepath.Join(dir, "logs"), "--tree", filepath.Join(dir, "tree"), "--trace"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"hpgmg-fv", "archer2", "l0", "MDOF/s", "concretization trace"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "logs", "archer2", "hpgmg-fv.log")); err != nil {
+		t.Errorf("perflog not written: %v", err)
+	}
+}
+
+func TestRunCommandSpecOverride(t *testing.T) {
+	dir := t.TempDir()
+	// The paper's "+omp" model syntax must be accepted.
+	out, err := capture(t, func() error {
+		return run([]string{"run", "-b", "babelstream-omp", "--system", "isambard-macs:cascadelake",
+			"-S", "babelstream%gcc@9.2.0 +omp",
+			"--perflog", filepath.Join(dir, "logs"), "--tree", filepath.Join(dir, "tree")})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "gcc@9.2.0") || !strings.Contains(out, "triad") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestScriptCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"script", "-b", "hpgmg-fv", "--system", "archer2",
+			"--tree", t.TempDir()})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"#SBATCH", "--ntasks=8", "srun"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("script missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCommandErrors(t *testing.T) {
+	if err := run([]string{"run", "-b", "hpgmg-fv"}); err == nil {
+		t.Error("missing --system accepted")
+	}
+	if err := run([]string{"run", "--system", "archer2"}); err == nil {
+		t.Error("missing -b accepted")
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"run", "-b", "nope", "--system", "archer2"})
+	}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown command accepted")
+	}
+}
+
+func TestRunCommandMultiSystemSweep(t *testing.T) {
+	// The paper's survey workflow: one invocation, several systems.
+	dir := t.TempDir()
+	out, err := capture(t, func() error {
+		return run([]string{"run", "-b", "hpgmg-fv", "--system", "archer2,cosma8,csd3",
+			"--perflog", filepath.Join(dir, "logs"), "--tree", filepath.Join(dir, "tree")})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range []string{"archer2", "cosma8", "csd3"} {
+		if !strings.Contains(out, sys) {
+			t.Errorf("sweep output missing %s", sys)
+		}
+		if _, err := os.Stat(filepath.Join(dir, "logs", sys, "hpgmg-fv.log")); err != nil {
+			t.Errorf("%s perflog missing: %v", sys, err)
+		}
+	}
+	if err := run([]string{"script", "-b", "hpgmg-fv", "--system", "a,b"}); err == nil {
+		t.Error("multi-system script accepted")
+	}
+}
+
+func TestSurveyCommand(t *testing.T) {
+	dir := t.TempDir()
+	out, err := capture(t, func() error {
+		return run([]string{"survey",
+			"--system", "isambard-macs:cascadelake,isambard-macs:volta",
+			"--perflog", filepath.Join(dir, "logs"), "--tree", filepath.Join(dir, "tree")})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"omp", "cuda", "Triad efficiency", "%", "*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("survey output missing %q:\n%s", want, out)
+		}
+	}
+	// The CUDA row must have a value on volta and a "*" on cascadelake.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "cuda") {
+			if !strings.Contains(line, "*") || !strings.Contains(line, "%") {
+				t.Errorf("cuda row = %q", line)
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs f with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), ferr
+}
+
+func TestSpecCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"spec", "babelstream@4.0%gcc@9.2.0 model=omp"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "babelstream@4.0%gcc@9.2.0 model=omp") {
+		t.Errorf("output = %q", out)
+	}
+	if _, err := capture(t, func() error { return run([]string{"spec", "@bad"}) }); err == nil {
+		t.Error("bad spec accepted")
+	}
+	if _, err := capture(t, func() error { return run([]string{"spec"}) }); err == nil {
+		t.Error("missing argument accepted")
+	}
+}
+
+func TestConcretizeCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"concretize", "--system", "archer2", "--trace", "hpgmg%gcc"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"hpgmg@0.4%gcc@11.2.0", "cray-mpich@8.1.23", "hash:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInstallCommand(t *testing.T) {
+	tree := filepath.Join(t.TempDir(), "tree")
+	out, err := capture(t, func() error {
+		return run([]string{"install", "--system", "csd3", "--tree", tree, "stream"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "built") {
+		t.Errorf("output = %q", out)
+	}
+	entries, err := os.ReadDir(tree)
+	if err != nil || len(entries) == 0 {
+		t.Errorf("install tree empty: %v, %v", entries, err)
+	}
+}
+
+func TestListAndProviders(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"babelstream", "hpcg", "hpgmg", "openmpi"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+	out, err = capture(t, func() error { return run([]string{"providers", "mpi"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cray-mpich") || !strings.Contains(out, "openmpi") {
+		t.Errorf("providers = %q", out)
+	}
+	if _, err := capture(t, func() error { return run([]string{"providers", "nothing"}) }); err == nil {
+		t.Error("unknown virtual accepted")
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := run(nil); err == nil {
+		t.Error("empty args accepted")
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Errorf("help should succeed: %v", err)
+	}
+}
+
+func TestEnvCommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"env", "archer2"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"system: archer2", "gcc@11.2.0", "cray-mpich@8.1.23", "account: z19"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("env output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := capture(t, func() error { return run([]string{"env", "unknown-box"}) }); err == nil {
+		t.Error("unknown system accepted")
+	}
+	if _, err := capture(t, func() error { return run([]string{"env"}) }); err == nil {
+		t.Error("missing argument accepted")
+	}
+}

@@ -1,0 +1,171 @@
+// Command perfplot assimilates perflogs and produces analysis artifacts
+// (Principle 6): tables, text/SVG bar charts, CSV exports, and
+// performance-regression reports.
+//
+//	perfplot table   --perflog perflogs
+//	perfplot bar     --perflog perflogs --config plot.yaml [--svg out.svg]
+//	perfplot csv     --perflog perflogs --out results.csv
+//	perfplot regress --perflog perflogs --fom l0 --group system,benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/postprocess"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "perfplot:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("no command")
+	}
+	switch args[0] {
+	case "table":
+		return cmdTable(args[1:])
+	case "bar":
+		return cmdBar(args[1:])
+	case "csv":
+		return cmdCSV(args[1:])
+	case "regress":
+		return cmdRegress(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  perfplot table   --perflog DIR                     print the assimilated frame
+  perfplot bar     --perflog DIR --config FILE       render a configured bar chart
+                   [--svg FILE]                      also write an SVG version
+  perfplot csv     --perflog DIR --out FILE          export the frame as CSV
+  perfplot regress --perflog DIR --fom COL           flag performance regressions
+                   [--group cols] [--tolerance 0.1]
+`)
+}
+
+func cmdTable(args []string) error {
+	fs := flag.NewFlagSet("table", flag.ContinueOnError)
+	root := fs.String("perflog", "perflogs", "perflog root")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := postprocess.LoadFrame(*root)
+	if err != nil {
+		return err
+	}
+	fmt.Print(f.String())
+	return nil
+}
+
+func cmdBar(args []string) error {
+	fs := flag.NewFlagSet("bar", flag.ContinueOnError)
+	root := fs.String("perflog", "perflogs", "perflog root")
+	configPath := fs.String("config", "", "plot configuration file")
+	svgPath := fs.String("svg", "", "write an SVG chart to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *configPath == "" {
+		return fmt.Errorf("--config is required")
+	}
+	text, err := os.ReadFile(*configPath)
+	if err != nil {
+		return err
+	}
+	cfg, err := postprocess.ParsePlotConfig(string(text))
+	if err != nil {
+		return err
+	}
+	f, err := postprocess.LoadFrame(*root)
+	if err != nil {
+		return err
+	}
+	chart, err := postprocess.BarChart(f, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(chart)
+	if *svgPath != "" {
+		svg, err := postprocess.BarChartSVG(f, cfg)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*svgPath, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *svgPath)
+	}
+	return nil
+}
+
+func cmdCSV(args []string) error {
+	fs := flag.NewFlagSet("csv", flag.ContinueOnError)
+	root := fs.String("perflog", "perflogs", "perflog root")
+	out := fs.String("out", "", "output CSV path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := postprocess.LoadFrame(*root)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		return f.WriteCSV(os.Stdout)
+	}
+	if err := f.SaveCSV(*out); err != nil {
+		return err
+	}
+	fmt.Println("wrote", *out)
+	return nil
+}
+
+func cmdRegress(args []string) error {
+	fs := flag.NewFlagSet("regress", flag.ContinueOnError)
+	root := fs.String("perflog", "perflogs", "perflog root")
+	fomCol := fs.String("fom", "", "FOM column to check")
+	group := fs.String("group", "system,benchmark", "comma-separated grouping columns")
+	tolerance := fs.Float64("tolerance", 0.10, "fractional drop that counts as a regression")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *fomCol == "" {
+		return fmt.Errorf("--fom is required")
+	}
+	f, err := postprocess.LoadFrame(*root)
+	if err != nil {
+		return err
+	}
+	reports, err := postprocess.CheckRegressions(f, strings.Split(*group, ","), *fomCol, *tolerance)
+	if err != nil {
+		return err
+	}
+	anyFlagged := false
+	for _, r := range reports {
+		marker := "ok      "
+		if r.Flagged {
+			marker = "REGRESSED"
+			anyFlagged = true
+		}
+		fmt.Printf("%-9s %-40s baseline %.3f -> latest %.3f (%+.1f%%)\n",
+			marker, r.Group, r.Baseline, r.Latest, r.Change*100)
+	}
+	if anyFlagged {
+		return fmt.Errorf("performance regressions detected")
+	}
+	return nil
+}

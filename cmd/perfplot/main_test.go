@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fom"
+	"repro/internal/perflog"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), ferr
+}
+
+// seedPerflogs writes a small multi-system perflog tree.
+func seedPerflogs(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	t0 := time.Date(2023, 7, 7, 10, 0, 0, 0, time.UTC)
+	data := map[string][]float64{
+		"archer2": {95.36, 94.8, 60.0}, // regresses on the last run
+		"csd3":    {126.10, 125.8, 126.4},
+	}
+	for sys, vals := range data {
+		for i, v := range vals {
+			e := &perflog.Entry{
+				Time:      t0.Add(time.Duration(i) * time.Hour),
+				Benchmark: "hpgmg-fv",
+				System:    sys,
+				Partition: "compute",
+				Environ:   "gcc",
+				Spec:      "hpgmg%gcc",
+				JobID:     i + 1,
+				Result:    "pass",
+				FOMs:      map[string]fom.Value{"l0": {Name: "l0", Value: v, Unit: "MDOF/s"}},
+				Extra:     map[string]string{"num_tasks": "8"},
+			}
+			if err := perflog.Append(root, sys, "hpgmg-fv", e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return root
+}
+
+func TestTableCommand(t *testing.T) {
+	root := seedPerflogs(t)
+	out, err := capture(t, func() error { return run([]string{"table", "--perflog", root}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"system", "archer2", "csd3", "l0", "126.1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBarCommandWithConfigAndSVG(t *testing.T) {
+	root := seedPerflogs(t)
+	cfgPath := filepath.Join(t.TempDir(), "plot.yaml")
+	cfg := `
+title: HPGMG l0
+x: system
+y: l0
+sort: ascending
+filters:
+  - column: result
+    op: ==
+    value: pass
+`
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	svgPath := filepath.Join(t.TempDir(), "out.svg")
+	out, err := capture(t, func() error {
+		return run([]string{"bar", "--perflog", root, "--config", cfgPath, "--svg", svgPath})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "HPGMG l0") || !strings.Contains(out, "█") {
+		t.Errorf("chart:\n%s", out)
+	}
+	svg, err := os.ReadFile(svgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(svg), "<svg") {
+		t.Error("svg file malformed")
+	}
+	if err := run([]string{"bar", "--perflog", root}); err == nil {
+		t.Error("missing --config accepted")
+	}
+}
+
+func TestCSVCommand(t *testing.T) {
+	root := seedPerflogs(t)
+	outPath := filepath.Join(t.TempDir(), "results.csv")
+	if _, err := capture(t, func() error {
+		return run([]string{"csv", "--perflog", root, "--out", outPath})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "system") || !strings.Contains(string(data), "archer2") {
+		t.Errorf("csv:\n%s", data)
+	}
+}
+
+func TestRegressCommandFlagsDrop(t *testing.T) {
+	root := seedPerflogs(t)
+	out, err := capture(t, func() error {
+		return run([]string{"regress", "--perflog", root, "--fom", "l0", "--group", "system"})
+	})
+	// archer2's drop to 60 must be flagged, making the command fail
+	// (nonzero exit in CI — the paper's regression-pipeline vision).
+	if err == nil {
+		t.Error("regression should cause an error exit")
+	}
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "archer2") {
+		t.Errorf("regress output:\n%s", out)
+	}
+	if !strings.Contains(out, "ok") || !strings.Contains(out, "csd3") {
+		t.Errorf("stable system missing:\n%s", out)
+	}
+	if err := run([]string{"regress", "--perflog", root}); err == nil {
+		t.Error("missing --fom accepted")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run([]string{"table", "--perflog", t.TempDir()})
+	}); err == nil {
+		t.Error("empty perflog tree accepted")
+	}
+}

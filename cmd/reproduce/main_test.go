@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBuildReport(t *testing.T) {
+	report, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# Reproduction report",
+		"## Figure 2",
+		"## Table 1",
+		"## Table 2",
+		"## Table 4",
+		"93.4%",               // CUDA on Volta
+		"| original | 24.0 |", // Table 2 CL value
+		"N/A",                 // intel-avx2 on Rome
+		"E_I = 1.626",
+		"126.10 /", // csd3 l0 paper value
+		"\\*",      // unsupported cells
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestWriteReportFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.md")
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs }()
+	os.Args = []string{"reproduce", "--out", path}
+	main()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Reproduction report") {
+		t.Error("report file malformed")
+	}
+}

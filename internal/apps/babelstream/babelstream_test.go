@@ -1,0 +1,263 @@
+package babelstream
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/platform"
+)
+
+func TestRunSmallValidates(t *testing.T) {
+	res, err := Run(Config{ArraySize: 1 << 16, NumTimes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid {
+		t.Fatalf("validation failed: %s", res.ValidErr)
+	}
+	for _, k := range KernelNames() {
+		if res.MBps[k] <= 0 {
+			t.Errorf("%s rate = %g", k, res.MBps[k])
+		}
+	}
+	for _, want := range []string{"BabelStream", "Triad", "Dot", "Validation passed"} {
+		if !strings.Contains(res.Output, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSerialEqualsParallelValidation(t *testing.T) {
+	serial, err := Run(Config{ArraySize: 4096, NumTimes: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(Config{ArraySize: 1 << 15, NumTimes: 5, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Valid || !par.Valid {
+		t.Error("both serial and parallel runs must validate")
+	}
+}
+
+func TestRunConfigErrors(t *testing.T) {
+	if _, err := Run(Config{ArraySize: 0}); err == nil {
+		t.Error("zero array size accepted")
+	}
+}
+
+func TestDefaultArraySizeRule(t *testing.T) {
+	// Cascade Lake (55 MB node L3): 2^25 suffices.
+	if got := DefaultArraySize(platform.CascadeLake6230.L3CacheTotalMB()); got != 1<<25 {
+		t.Errorf("cascade lake array = 2^%d, want 2^25", log2(got))
+	}
+	// Milan (512 MB node L3): needs 2^29 (paper §3.1).
+	if got := DefaultArraySize(platform.EPYCMilan7763.L3CacheTotalMB()); got != 1<<29 {
+		t.Errorf("milan array = 2^%d, want 2^29", log2(got))
+	}
+	// V100 (6 MB L2): 2^25.
+	if got := DefaultArraySize(platform.TeslaV100.L3CacheTotalMB()); got != 1<<25 {
+		t.Errorf("volta array = 2^%d, want 2^25", log2(got))
+	}
+}
+
+func log2(n int) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+func TestSimulateVoltaNearPeak(t *testing.T) {
+	cfg := Config{ArraySize: 1 << 25, NumTimes: 100}
+	res, err := Simulate(platform.TeslaV100, machine.CUDA, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff := res.TriadGBs() / platform.TeslaV100.PeakBandwidthGBs
+	if eff < 0.88 || eff > 1.0 {
+		t.Errorf("CUDA/V100 Triad efficiency = %g, want near peak", eff)
+	}
+	if !strings.Contains(res.Output, "simulated") {
+		t.Error("simulated output should say so")
+	}
+}
+
+func TestSimulateUnsupported(t *testing.T) {
+	cfg := Config{ArraySize: 1 << 20}
+	if _, err := Simulate(platform.CascadeLake6230, machine.CUDA, cfg, 1); err == nil {
+		t.Error("CUDA on CPU accepted")
+	}
+	if _, err := Simulate(platform.ThunderX2, machine.TBB, cfg, 1); err == nil {
+		t.Error("TBB on ThunderX2 accepted")
+	}
+}
+
+func TestSurveyReproducesFigure2Shapes(t *testing.T) {
+	cells, err := Survey(machine.AllModels(), PaperTargets(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 8*4 {
+		t.Fatalf("cells = %d, want 32", len(cells))
+	}
+	get := func(m machine.ProgModel, plat string) SurveyCell {
+		for _, c := range cells {
+			if c.Model == m && strings.Contains(c.Platform, plat) {
+				return c
+			}
+		}
+		t.Fatalf("cell %s/%s missing", m, plat)
+		return SurveyCell{}
+	}
+	// "*" cells: CUDA on CPUs, TBB on ThunderX2.
+	for _, plat := range []string{"cascadelake", "xci", "paderborn"} {
+		if c := get(machine.CUDA, plat); c.Supported {
+			t.Errorf("CUDA should be unsupported on %s", plat)
+		}
+	}
+	if c := get(machine.TBB, "xci"); c.Supported {
+		t.Error("TBB should be unsupported on ThunderX2")
+	}
+	// Volta: CUDA and OpenCL close to peak.
+	if c := get(machine.CUDA, "volta"); !c.Supported || c.Efficiency < 0.88 {
+		t.Errorf("CUDA/volta eff = %g", c.Efficiency)
+	}
+	if c := get(machine.OpenCL, "volta"); !c.Supported || c.Efficiency < 0.85 {
+		t.Errorf("OpenCL/volta eff = %g", c.Efficiency)
+	}
+	// OpenMP works on all four platforms.
+	for _, plat := range []string{"cascadelake", "xci", "paderborn", "volta"} {
+		if c := get(machine.OMP, plat); !c.Supported {
+			t.Errorf("OpenMP should run on %s", plat)
+		}
+	}
+	// OpenMP utilisation best on Intel/AMD CPUs (paper's observation).
+	intel := get(machine.OMP, "cascadelake").Efficiency
+	amd := get(machine.OMP, "paderborn").Efficiency
+	tx2 := get(machine.OMP, "xci").Efficiency
+	if intel <= tx2 || amd <= tx2 {
+		t.Errorf("OpenMP eff: intel %g amd %g tx2 %g", intel, amd, tx2)
+	}
+	// std-ranges single-thread disparity vs std-data (paper's
+	// "expected behaviour").
+	d := get(machine.StdData, "cascadelake").Efficiency
+	r := get(machine.StdRanges, "cascadelake").Efficiency
+	if r >= d/3 {
+		t.Errorf("std-ranges %g should trail std-data %g", r, d)
+	}
+	// Every unsupported cell explains itself.
+	for _, c := range cells {
+		if !c.Supported && c.Reason == "" {
+			t.Errorf("cell %s/%s unsupported without reason", c.Model, c.Platform)
+		}
+		if c.Supported && (c.Efficiency <= 0 || c.Efficiency > 1.0) {
+			t.Errorf("cell %s/%s efficiency = %g out of range", c.Model, c.Platform, c.Efficiency)
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	cfg := Config{ArraySize: 1 << 25}
+	a, err := Simulate(platform.EPYCMilan7763, machine.OMP, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(platform.EPYCMilan7763, machine.OMP, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TriadGBs() != b.TriadGBs() {
+		t.Error("simulation must be deterministic")
+	}
+}
+
+func TestKernelTraffic(t *testing.T) {
+	// Copy/Mul/Dot move 2 arrays, Add/Triad move 3.
+	if kernelTraffic("Copy") != 16 || kernelTraffic("Triad") != 24 {
+		t.Error("traffic constants wrong")
+	}
+	if kernelTraffic("Nope") != 0 {
+		t.Error("unknown kernel should have zero traffic")
+	}
+}
+
+func TestDotValueMatchesAnalytic(t *testing.T) {
+	cfg := Config{ArraySize: 1 << 12, NumTimes: 3, Workers: 2}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After validation passed, dot must equal ga*gb*n.
+	ga, gb, gc := initA, initB, initC
+	for i := 0; i < cfg.NumTimes; i++ {
+		gc = ga
+		gb = scalar * gc
+		gc = ga + gb
+		ga = gb + scalar*gc
+	}
+	want := ga * gb * float64(cfg.ArraySize)
+	if math.Abs(res.DotResult-want)/math.Abs(want) > 1e-10 {
+		t.Errorf("dot = %g, want %g", res.DotResult, want)
+	}
+}
+
+func TestCacheBoost(t *testing.T) {
+	// Fully cached: 3x; far beyond cache: 1x; linear in between.
+	if got := cacheBoost(100, 512); got != 3 {
+		t.Errorf("cached boost = %g", got)
+	}
+	if got := cacheBoost(2000, 512); got != 1 {
+		t.Errorf("uncached boost = %g", got)
+	}
+	mid := cacheBoost(768, 512) // 1.5x the cache size
+	if mid <= 1 || mid >= 3 {
+		t.Errorf("partial boost = %g, want in (1,3)", mid)
+	}
+	if cacheBoost(100, 0) != 1 {
+		t.Error("zero cache must not boost")
+	}
+}
+
+func TestSmallArraysInflateBandwidth(t *testing.T) {
+	// The paper's §3.1 rationale for the 2^29 array on Milan: a working
+	// set that (partially) fits in the 512 MB node L3 reports bandwidth
+	// above the DRAM peak — the "fooling the masses" trap the array-size
+	// rule avoids.
+	small, err := Simulate(platform.EPYCMilan7763, machine.OMP, Config{ArraySize: 1 << 22}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Simulate(platform.EPYCMilan7763, machine.OMP, Config{ArraySize: 1 << 29}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := platform.EPYCMilan7763.PeakBandwidthGBs
+	if small.TriadGBs() <= peak {
+		t.Errorf("cached run = %.0f GB/s, should exceed the %.0f GB/s DRAM peak", small.TriadGBs(), peak)
+	}
+	if big.TriadGBs() >= peak {
+		t.Errorf("honest run = %.0f GB/s, must stay below peak", big.TriadGBs())
+	}
+	// And the default size rule picks the honest configuration.
+	if DefaultArraySize(platform.EPYCMilan7763.L3CacheTotalMB()) != 1<<29 {
+		t.Error("array-size rule should defeat Milan's cache")
+	}
+}
+
+func TestSimulateRejectsOversizedArrays(t *testing.T) {
+	// 2^30 doubles x 3 arrays = 25.8 GB > the V100's 16 GB.
+	if _, err := Simulate(platform.TeslaV100, machine.CUDA, Config{ArraySize: 1 << 30}, 1); err == nil {
+		t.Error("working set beyond device memory accepted")
+	}
+	// The default size rule stays within it.
+	size := DefaultArraySize(platform.TeslaV100.L3CacheTotalMB())
+	if _, err := Simulate(platform.TeslaV100, machine.CUDA, Config{ArraySize: size}, 1); err != nil {
+		t.Errorf("default size rejected: %v", err)
+	}
+}

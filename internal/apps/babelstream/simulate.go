@@ -1,0 +1,129 @@
+package babelstream
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/platform"
+)
+
+// Simulate predicts BabelStream results for a processor under a
+// programming model via the machine model, producing the same Result
+// structure (and text output) as a host run. This is the substitution
+// that lets the Figure 2 survey run without the paper's hardware.
+func Simulate(proc *platform.Processor, model machine.ProgModel, cfg Config, systemFactor float64) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if sup := machine.ModelSupport(model, proc); !sup.OK {
+		return nil, fmt.Errorf("babelstream: %s on %s: %s", model, proc, sup.Reason)
+	}
+	// The three arrays must fit in device memory — the constraint that
+	// bounds array sizes upward on GPUs (a V100 holds 16 GB).
+	if totalGB := float64(cfg.ArraySize) * 3 * 8 / 1e9; proc.MemoryGB > 0 && totalGB > proc.MemoryGB {
+		return nil, fmt.Errorf("babelstream: %.1f GB working set exceeds %s's %.0f GB memory",
+			totalGB, proc.Name, proc.MemoryGB)
+	}
+	run := machine.Run{Proc: proc, Model: model, SystemFactor: systemFactor}
+	res := &Result{MBps: map[string]float64{}, Valid: true}
+	best := map[string]float64{}
+	boost := cacheBoost(float64(cfg.ArraySize)*3*8/(1<<20), proc.L3CacheTotalMB())
+	for _, k := range KernelNames() {
+		bytes := kernelTraffic(k) * float64(cfg.ArraySize)
+		// When the working set (partially) fits in cache, less of the
+		// nominal traffic reaches DRAM — but the benchmark still
+		// divides the nominal bytes by the observed time, so small
+		// arrays report inflated "bandwidth".
+		dramBytes := bytes / boost
+		// The benchmark reports the best of NumTimes repetitions; with
+		// deterministic jitter we model that by sampling a handful of
+		// distinct salts and keeping the minimum.
+		min := 0.0
+		for rep := 0; rep < 5; rep++ {
+			t, err := machine.Time(run, dramBytes, bytes/8, fmt.Sprintf("%s/%d", k, rep))
+			if err != nil {
+				return nil, fmt.Errorf("babelstream: %w", err)
+			}
+			if rep == 0 || t < min {
+				min = t
+			}
+		}
+		best[k] = min
+		res.MBps[k] = bytes / min / 1e6
+	}
+	res.DotResult = 0 // simulated runs carry no data to validate
+	res.Output = render(cfg, fmt.Sprintf("%s (simulated on %s)", model, proc.Microarch), res, best)
+	return res, nil
+}
+
+// cacheBoost models the apparent-bandwidth inflation when the working set
+// fits in the last-level cache — the effect the paper's array-size rule
+// exists to avoid ("the array size should be set such that it forces the
+// data to go beyond the L3 cache"). Fully cached sets stream ~3x faster
+// than DRAM; the boost fades linearly as the set grows to twice the
+// cache.
+func cacheBoost(workingSetMB, l3MB float64) float64 {
+	if l3MB <= 0 || workingSetMB >= 2*l3MB {
+		return 1
+	}
+	if workingSetMB <= l3MB {
+		return 3
+	}
+	return 1 + 2*(2*l3MB-workingSetMB)/l3MB
+}
+
+// SurveyCell is one (model, platform) measurement of the Figure 2 survey.
+type SurveyCell struct {
+	Model      machine.ProgModel
+	Platform   string // display label, e.g. "isambard-macs:cascadelake"
+	Supported  bool
+	Reason     string  // why unsupported ("*" cells)
+	TriadGBs   float64 // measured Triad
+	PeakGBs    float64 // theoretical peak (Table 1)
+	Efficiency float64 // Triad / peak (the Figure 2 colour value)
+}
+
+// SurveyTarget names one platform column of the survey.
+type SurveyTarget struct {
+	Label        string
+	Proc         *platform.Processor
+	SystemFactor float64
+}
+
+// Survey reproduces the Figure 2 matrix: for every programming model and
+// every target platform, run (simulated) BabelStream with the paper's
+// array-size rule and compute Triad efficiency against theoretical peak.
+func Survey(models []machine.ProgModel, targets []SurveyTarget, numTimes int) ([]SurveyCell, error) {
+	var cells []SurveyCell
+	for _, m := range models {
+		for _, tgt := range targets {
+			cell := SurveyCell{Model: m, Platform: tgt.Label, PeakGBs: tgt.Proc.PeakBandwidthGBs}
+			sup := machine.ModelSupport(m, tgt.Proc)
+			if !sup.OK {
+				cell.Reason = sup.Reason
+				cells = append(cells, cell)
+				continue
+			}
+			cfg := Config{ArraySize: DefaultArraySize(tgt.Proc.L3CacheTotalMB()), NumTimes: numTimes}
+			res, err := Simulate(tgt.Proc, m, cfg, tgt.SystemFactor)
+			if err != nil {
+				return nil, err
+			}
+			cell.Supported = true
+			cell.TriadGBs = res.TriadGBs()
+			cell.Efficiency = cell.TriadGBs / cell.PeakGBs
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+// PaperTargets returns the four platform columns of Figure 2.
+func PaperTargets() []SurveyTarget {
+	return []SurveyTarget{
+		{Label: "isambard-macs:cascadelake", Proc: platform.CascadeLake6230, SystemFactor: 1},
+		{Label: "isambard-xci", Proc: platform.ThunderX2, SystemFactor: 1},
+		{Label: "paderborn-milan", Proc: platform.EPYCMilan7763, SystemFactor: 1},
+		{Label: "isambard-macs:volta", Proc: platform.TeslaV100, SystemFactor: 1},
+	}
+}

@@ -1,0 +1,180 @@
+package hpcg
+
+// The original HPCG problem: the 27-point stencil for Poisson's equation
+// with diagonal 26 and off-diagonals -1, Dirichlet boundaries (rows near
+// the boundary simply have fewer off-diagonal entries). Stored in
+// Compressed Sparse Row form, the "general but indirect" representation
+// the paper's §3.2 discusses.
+
+// CSR is the original (and vendor-tuned) HPCG operator.
+type CSR struct {
+	grid Grid
+	// tuned selects the vendor-optimised SpMV path (the Intel-avx2
+	// variant of Table 2): same matrix, unrolled gather loop.
+	tuned bool
+
+	rowPtr []int32
+	colIdx []int32
+	values []float64
+	diag   []float64 // diagonal entries, for SYMGS
+}
+
+// NewCSR builds the original HPCG CSR operator on the grid.
+func NewCSR(g Grid) *CSR { return newCSR(g, false) }
+
+// NewTunedCSR builds the vendor-optimised variant: identical matrix,
+// optimised sparse kernels.
+func NewTunedCSR(g Grid) *CSR { return newCSR(g, true) }
+
+func newCSR(g Grid, tuned bool) *CSR {
+	n := g.N()
+	m := &CSR{grid: g, tuned: tuned}
+	m.rowPtr = make([]int32, n+1)
+	m.diag = make([]float64, n)
+	// Two passes: count then fill, keeping memory proportional to nnz.
+	nnz := 0
+	for i := 0; i < n; i++ {
+		ix, iy, iz := g.Coords(i)
+		count := 0
+		forStencil(func(dx, dy, dz int) {
+			if g.In(ix+dx, iy+dy, iz+dz) {
+				count++
+			}
+		})
+		nnz += count
+		m.rowPtr[i+1] = m.rowPtr[i] + int32(count)
+	}
+	m.colIdx = make([]int32, nnz)
+	m.values = make([]float64, nnz)
+	for i := 0; i < n; i++ {
+		ix, iy, iz := g.Coords(i)
+		k := m.rowPtr[i]
+		forStencil(func(dx, dy, dz int) {
+			jx, jy, jz := ix+dx, iy+dy, iz+dz
+			if !g.In(jx, jy, jz) {
+				return
+			}
+			j := g.Idx(jx, jy, jz)
+			m.colIdx[k] = int32(j)
+			if j == i {
+				m.values[k] = 26.0
+				m.diag[i] = 26.0
+			} else {
+				m.values[k] = -1.0
+			}
+			k++
+		})
+	}
+	return m
+}
+
+// forStencil visits the 27 offsets in fixed (dz, dy, dx) order, so column
+// indices are sorted within each row.
+func forStencil(visit func(dx, dy, dz int)) {
+	for dz := -1; dz <= 1; dz++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				visit(dx, dy, dz)
+			}
+		}
+	}
+}
+
+// Name implements Operator.
+func (m *CSR) Name() string {
+	if m.tuned {
+		return "intel-avx2"
+	}
+	return "original"
+}
+
+// Grid implements Operator.
+func (m *CSR) Grid() Grid { return m.grid }
+
+// NNZ returns the stored nonzero count.
+func (m *CSR) NNZ() int { return len(m.values) }
+
+// Apply implements Operator: y = A·x via CSR SpMV.
+func (m *CSR) Apply(x, y []float64) {
+	if m.tuned {
+		m.applyTuned(x, y)
+		return
+	}
+	for i := range y {
+		sum := 0.0
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			sum += m.values[k] * x[m.colIdx[k]]
+		}
+		y[i] = sum
+	}
+}
+
+// applyTuned is the vendor-style SpMV: 4-way unrolled accumulation to
+// expose instruction-level parallelism, the kind of tuning shipped in the
+// Intel MKL HPCG binaries.
+func (m *CSR) applyTuned(x, y []float64) {
+	for i := range y {
+		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+		var s0, s1, s2, s3 float64
+		k := lo
+		for ; k+4 <= hi; k += 4 {
+			s0 += m.values[k] * x[m.colIdx[k]]
+			s1 += m.values[k+1] * x[m.colIdx[k+1]]
+			s2 += m.values[k+2] * x[m.colIdx[k+2]]
+			s3 += m.values[k+3] * x[m.colIdx[k+3]]
+		}
+		for ; k < hi; k++ {
+			s0 += m.values[k] * x[m.colIdx[k]]
+		}
+		y[i] = (s0 + s1) + (s2 + s3)
+	}
+}
+
+// Precondition implements Operator: one symmetric Gauss-Seidel sweep
+// (forward then backward), the HPCG smoother.
+func (m *CSR) Precondition(r, z []float64) {
+	n := len(z)
+	for i := range z {
+		z[i] = 0
+	}
+	// Forward sweep.
+	for i := 0; i < n; i++ {
+		sum := r[i]
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			j := m.colIdx[k]
+			if int(j) != i {
+				sum -= m.values[k] * z[j]
+			}
+		}
+		z[i] = sum / m.diag[i]
+	}
+	// Backward sweep.
+	for i := n - 1; i >= 0; i-- {
+		sum := r[i]
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			j := m.colIdx[k]
+			if int(j) != i {
+				sum -= m.values[k] * z[j]
+			}
+		}
+		z[i] = sum / m.diag[i]
+	}
+}
+
+// FlopsPerApply implements Operator: 2 flops per stored nonzero.
+func (m *CSR) FlopsPerApply() float64 { return 2 * float64(m.NNZ()) }
+
+// FlopsPerPrecondition implements Operator: two sweeps at 2 flops/nnz.
+func (m *CSR) FlopsPerPrecondition() float64 { return 4 * float64(m.NNZ()) }
+
+// BytesPerApply implements Operator: CSR SpMV streams the matrix (8-byte
+// value + 4-byte column index per nonzero, 4-byte row pointer per row)
+// and gathers the x vector with imperfect locality (~1 extra 8-byte load
+// per nonzero beyond the cached window), then writes y.
+func (m *CSR) BytesPerApply() float64 {
+	nnz := float64(m.NNZ())
+	n := float64(m.grid.N())
+	matrix := nnz * (8 + 4)
+	vectors := nnz*2.0 + 16*n // gather traffic + x stream + y write
+	return matrix + vectors
+}

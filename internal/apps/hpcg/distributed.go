@@ -1,0 +1,322 @@
+package hpcg
+
+// Distributed-memory HPCG on the host: the domain is decomposed into
+// z-slabs owned by "ranks" (goroutines), halo planes are exchanged over
+// channels before every operator application, dot products are combined
+// with a tree-free barrier allreduce, and the preconditioner is the
+// block-Jacobi symmetric Gauss-Seidel HPCG itself uses (each rank smooths
+// its own block). This is the substitution DESIGN.md promises for MPI:
+// the same decomposition and communication pattern, with channels as the
+// transport.
+//
+// Only the matrix-free operator is provided distributed — it is the
+// variant whose operator needs just one ghost plane per side, exactly
+// like the real stencil codes.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/team"
+)
+
+// slab is one rank's share of the global grid: local z-planes
+// [z0, z0+nz) of an NX×NY×NZglobal domain, plus ghost planes.
+type slab struct {
+	rank   int
+	nx, ny int
+	nz     int // local planes
+	z0     int // global index of first local plane
+	nzGlob int
+
+	lower, upper *team.Halo // nil at the global boundary
+
+	// ghost planes (nx*ny) below and above the local block.
+	gLow, gHigh []float64
+}
+
+func (s *slab) plane() int   { return s.nx * s.ny }
+func (s *slab) locsize() int { return s.nx * s.ny * s.nz }
+
+// exchange sends this rank's boundary planes of v to its neighbours and
+// receives their planes into the ghost buffers. All sends complete before
+// any receive blocks (the channels are buffered), so the pattern is
+// deadlock-free in any rank order.
+func (s *slab) exchange(v []float64) {
+	p := s.plane()
+	if s.lower != nil {
+		buf := make([]float64, p)
+		copy(buf, v[:p]) // my bottom plane goes down
+		s.lower.ToLower <- buf
+	}
+	if s.upper != nil {
+		buf := make([]float64, p)
+		copy(buf, v[(s.nz-1)*p:]) // my top plane goes up
+		s.upper.ToUpper <- buf
+	}
+	if s.lower != nil {
+		s.gLow = <-s.lower.ToUpper
+	} else {
+		s.gLow = nil
+	}
+	if s.upper != nil {
+		s.gHigh = <-s.upper.ToLower
+	} else {
+		s.gHigh = nil
+	}
+}
+
+// at reads v at local plane k (which may be -1 or nz, hitting a ghost
+// plane), returning 0 outside the global domain.
+func (s *slab) at(v []float64, i, j, k int) float64 {
+	switch {
+	case k < 0:
+		if s.gLow == nil {
+			return 0
+		}
+		return s.gLow[i+s.nx*j]
+	case k >= s.nz:
+		if s.gHigh == nil {
+			return 0
+		}
+		return s.gHigh[i+s.nx*j]
+	default:
+		return v[i+s.nx*(j+s.ny*k)]
+	}
+}
+
+// apply computes y = A·x on the local block, using ghost planes for the
+// z-neighbour terms (exchange must have run on x first).
+func (s *slab) apply(x, y []float64) {
+	nx, ny := s.nx, s.ny
+	for k := 0; k < s.nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				idx := i + nx*(j+ny*k)
+				sum := 27.0 * x[idx]
+				for dk := -1; dk <= 1; dk++ {
+					gk := s.z0 + k + dk
+					if gk < 0 || gk >= s.nzGlob {
+						continue
+					}
+					for dj := -1; dj <= 1; dj++ {
+						jj := j + dj
+						if jj < 0 || jj >= ny {
+							continue
+						}
+						for di := -1; di <= 1; di++ {
+							ii := i + di
+							if ii < 0 || ii >= nx {
+								continue
+							}
+							sum -= s.at(x, ii, jj, k+dk)
+						}
+					}
+				}
+				y[idx] = sum
+			}
+		}
+	}
+}
+
+// precondition runs one block-local symmetric Gauss-Seidel sweep
+// (ghost coupling dropped — block-Jacobi between ranks, as HPCG does).
+func (s *slab) precondition(r, z []float64) {
+	n := s.locsize()
+	for i := range z {
+		z[i] = 0
+	}
+	sweep := func(idx int) {
+		nx, ny := s.nx, s.ny
+		i := idx % nx
+		j := (idx / nx) % ny
+		k := idx / (nx * ny)
+		sum := r[idx]
+		for dk := -1; dk <= 1; dk++ {
+			kk := k + dk
+			if kk < 0 || kk >= s.nz {
+				continue // block-local: no ghost coupling
+			}
+			for dj := -1; dj <= 1; dj++ {
+				jj := j + dj
+				if jj < 0 || jj >= ny {
+					continue
+				}
+				for di := -1; di <= 1; di++ {
+					ii := i + di
+					if ii < 0 || ii >= nx {
+						continue
+					}
+					jdx := ii + nx*(jj+ny*kk)
+					if jdx != idx {
+						sum += z[jdx]
+					}
+				}
+			}
+		}
+		z[idx] = sum / 26.0
+	}
+	for i := 0; i < n; i++ {
+		sweep(i)
+	}
+	for i := n - 1; i >= 0; i-- {
+		sweep(i)
+	}
+}
+
+// DistResult reports a distributed solve.
+type DistResult struct {
+	Ranks      int
+	Iterations int
+	Residual   float64 // final global ‖r‖
+	Converged  bool
+	GFlops     float64
+	Seconds    float64
+	MaxErr     float64 // against the all-ones manufactured solution
+}
+
+// RunDistributed solves the manufactured HPCG problem (b = A·1) with the
+// matrix-free operator over the given number of goroutine ranks.
+func RunDistributed(g Grid, ranks, maxIters int, tol float64) (*DistResult, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if ranks < 1 || ranks > g.NZ/2 {
+		return nil, fmt.Errorf("hpcg: %d ranks cannot decompose %d z-planes (need >= 2 planes per rank)", ranks, g.NZ)
+	}
+	if maxIters <= 0 {
+		maxIters = 50
+	}
+
+	// Build the halos and slabs.
+	halos := team.NewHalos(ranks)
+	slabs := make([]*slab, ranks)
+	z0 := 0
+	for r := 0; r < ranks; r++ {
+		nz := g.NZ / ranks
+		if r < g.NZ%ranks {
+			nz++
+		}
+		s := &slab{rank: r, nx: g.NX, ny: g.NY, nz: nz, z0: z0, nzGlob: g.NZ}
+		if r > 0 {
+			s.lower = halos[r-1]
+		}
+		if r < ranks-1 {
+			s.upper = halos[r]
+		}
+		slabs[r] = s
+		z0 += nz
+	}
+
+	red := team.NewReducer(ranks)
+	errRed := team.NewReducer(ranks)
+	flopsPerRank := make([]float64, ranks)
+	results := make(chan DistResult, ranks)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(s *slab) {
+			defer wg.Done()
+			res := solveRank(s, red, maxIters, tol, &flopsPerRank[s.rank])
+			res.MaxErr = errRed.Max(s.rank, res.MaxErr)
+			results <- res
+		}(slabs[r])
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	final := <-results
+	for i := 1; i < ranks; i++ {
+		other := <-results
+		if other.Iterations > final.Iterations {
+			final.Iterations = other.Iterations
+		}
+	}
+	totalFlops := 0.0
+	for _, f := range flopsPerRank {
+		totalFlops += f
+	}
+	final.Ranks = ranks
+	final.Seconds = elapsed
+	final.GFlops = totalFlops / elapsed / 1e9
+	return &final, nil
+}
+
+// solveRank is the SPMD body: preconditioned CG over the local slab.
+func solveRank(s *slab, red *team.Reducer, maxIters int, tol float64, flops *float64) DistResult {
+	n := s.locsize()
+	fn := float64(n)
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	b := make([]float64, n)
+	s.exchange(ones) // interior ghosts become 1, matching the global ones vector
+	s.apply(ones, b)
+	*flops += 54 * fn
+
+	x := make([]float64, n)
+	r := make([]float64, n)
+	copy(r, b) // r = b - A·0
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	s.precondition(r, z)
+	copy(p, z)
+	*flops += 108 * fn
+
+	rz := red.Sum(s.rank, dot(r, z))
+	rnorm0 := red.Sum(s.rank, dot(r, r))
+	*flops += 4 * fn
+	out := DistResult{}
+	if rnorm0 == 0 {
+		out.Converged = true
+		return out
+	}
+
+	for iter := 1; iter <= maxIters; iter++ {
+		s.exchange(p)
+		s.apply(p, ap)
+		*flops += 54 * fn
+		pap := red.Sum(s.rank, dot(p, ap))
+		*flops += 2 * fn
+		alpha := rz / pap
+		axpy(x, alpha, p)
+		axpy(r, -alpha, ap)
+		*flops += 4 * fn
+
+		rnorm := red.Sum(s.rank, dot(r, r))
+		*flops += 2 * fn
+		out.Iterations = iter
+		out.Residual = math.Sqrt(rnorm)
+		if rnorm <= tol*tol*rnorm0 {
+			out.Converged = true
+			break
+		}
+
+		s.precondition(r, z)
+		*flops += 108 * fn
+		rzNew := red.Sum(s.rank, dot(r, z))
+		*flops += 2 * fn
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+		*flops += 2 * fn
+	}
+	// Local solution error vs the all-ones exact solution.
+	maxErr := 0.0
+	for i := range x {
+		if e := abs(x[i] - 1); e > maxErr {
+			maxErr = e
+		}
+	}
+	out.MaxErr = maxErr
+	return out
+}

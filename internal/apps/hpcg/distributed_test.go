@@ -1,0 +1,144 @@
+package hpcg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/team"
+)
+
+func TestDistributedMatchesSerialOperator(t *testing.T) {
+	// Apply A·x with 3 ranks and compare against the serial matrix-free
+	// operator plane by plane.
+	g := Grid{NX: 8, NY: 7, NZ: 12}
+	serial := NewMatrixFree(g)
+	x := randomVec(g.N(), 11)
+	want := make([]float64, g.N())
+	serial.Apply(x, want)
+
+	// Manually drive three slabs through one exchange+apply.
+	ranks := 3
+	halos := team.NewHalos(ranks)
+	plane := g.NX * g.NY
+	z0 := 0
+	var got []float64
+	slabs := make([]*slab, ranks)
+	locals := make([][]float64, ranks)
+	for r := 0; r < ranks; r++ {
+		nz := g.NZ / ranks
+		if r < g.NZ%ranks {
+			nz++
+		}
+		s := &slab{rank: r, nx: g.NX, ny: g.NY, nz: nz, z0: z0, nzGlob: g.NZ}
+		if r > 0 {
+			s.lower = halos[r-1]
+		}
+		if r < ranks-1 {
+			s.upper = halos[r]
+		}
+		slabs[r] = s
+		locals[r] = x[z0*plane : (z0+nz)*plane]
+		z0 += nz
+	}
+	done := make(chan struct{})
+	outs := make([][]float64, ranks)
+	for r := 0; r < ranks; r++ {
+		go func(r int) {
+			y := make([]float64, slabs[r].locsize())
+			slabs[r].exchange(locals[r])
+			slabs[r].apply(locals[r], y)
+			outs[r] = y
+			done <- struct{}{}
+		}(r)
+	}
+	for r := 0; r < ranks; r++ {
+		<-done
+	}
+	for _, y := range outs {
+		got = append(got, y...)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-10 {
+			t.Fatalf("distributed apply differs at %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDistributedSolveConverges(t *testing.T) {
+	g := Grid{NX: 12, NY: 12, NZ: 16}
+	for _, ranks := range []int{1, 2, 4} {
+		res, err := RunDistributed(g, ranks, 300, 1e-9)
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		if !res.Converged {
+			t.Errorf("ranks=%d: not converged, residual %g after %d iters", ranks, res.Residual, res.Iterations)
+			continue
+		}
+		if res.MaxErr > 1e-6 {
+			t.Errorf("ranks=%d: solution error %g", ranks, res.MaxErr)
+		}
+		if res.GFlops <= 0 {
+			t.Errorf("ranks=%d: GFlops = %g", ranks, res.GFlops)
+		}
+		if res.Ranks != ranks {
+			t.Errorf("ranks recorded = %d", res.Ranks)
+		}
+	}
+}
+
+func TestDistributedSameAnswerAcrossRankCounts(t *testing.T) {
+	// Block-Jacobi preconditioning changes the iteration path slightly
+	// with rank count, but every decomposition must reach the same
+	// solution (all ones) to the same tolerance.
+	g := Grid{NX: 10, NY: 10, NZ: 12}
+	var iters []int
+	for _, ranks := range []int{1, 2, 3, 6} {
+		res, err := RunDistributed(g, ranks, 300, 1e-10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged || res.MaxErr > 1e-6 {
+			t.Errorf("ranks=%d: converged=%v err=%g", ranks, res.Converged, res.MaxErr)
+		}
+		iters = append(iters, res.Iterations)
+	}
+	// Weaker block preconditioners may take a few more iterations, never
+	// fewer than a quarter or more than 4x of the single-rank count.
+	for i := 1; i < len(iters); i++ {
+		if iters[i] > iters[0]*4 || iters[i] < iters[0]/4 {
+			t.Errorf("iteration counts diverge wildly: %v", iters)
+		}
+	}
+}
+
+func TestDistributedValidation(t *testing.T) {
+	g := Grid{NX: 8, NY: 8, NZ: 8}
+	if _, err := RunDistributed(g, 0, 10, 1e-6); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	if _, err := RunDistributed(g, 5, 10, 1e-6); err == nil {
+		t.Error("too many ranks for the z extent accepted")
+	}
+	if _, err := RunDistributed(Grid{NX: 1, NY: 8, NZ: 8}, 1, 10, 1e-6); err == nil {
+		t.Error("degenerate grid accepted")
+	}
+}
+
+func TestBarrierAndReducer(t *testing.T) {
+	red := team.NewReducer(4)
+	done := make(chan float64, 4)
+	for r := 0; r < 4; r++ {
+		go func(r int) {
+			// Two rounds to exercise barrier reuse.
+			a := red.Sum(r, float64(r+1)) // 1+2+3+4 = 10
+			b := red.Sum(r, a)            // 4*10 = 40
+			done <- b
+		}(r)
+	}
+	for i := 0; i < 4; i++ {
+		if got := <-done; got != 40 {
+			t.Fatalf("allreduce chain = %g, want 40", got)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Package hpcg implements the High Performance Conjugate Gradient
+// benchmark and the algorithmic variants of the paper's §3.2 case study
+// (Table 2): the original CSR implementation, a vendor-tuned CSR path,
+// a matrix-free 27-point stencil, and the LFRic-style symmetrised
+// Helmholtz operator with a vertical-column solver.
+//
+// The benchmark solves A·x = b for the 27-point finite-difference
+// discretisation of Poisson's equation in 3-D (or the Helmholtz operator
+// for the LFRic variant) with preconditioned conjugate gradients, counts
+// the floating-point work, and reports GFLOP/s — the Figure of Merit the
+// paper extracts.
+package hpcg
+
+import "fmt"
+
+// Grid is a 3-D structured grid with lexicographic indexing
+// (x fastest, z slowest).
+type Grid struct {
+	NX, NY, NZ int
+}
+
+// N returns the number of grid points.
+func (g Grid) N() int { return g.NX * g.NY * g.NZ }
+
+// Idx maps (ix, iy, iz) to the linear index.
+func (g Grid) Idx(ix, iy, iz int) int {
+	return ix + g.NX*(iy+g.NY*iz)
+}
+
+// Coords inverts Idx.
+func (g Grid) Coords(i int) (ix, iy, iz int) {
+	ix = i % g.NX
+	iy = (i / g.NX) % g.NY
+	iz = i / (g.NX * g.NY)
+	return
+}
+
+// In reports whether (ix, iy, iz) lies inside the grid.
+func (g Grid) In(ix, iy, iz int) bool {
+	return ix >= 0 && ix < g.NX && iy >= 0 && iy < g.NY && iz >= 0 && iz < g.NZ
+}
+
+// Validate checks the grid is usable.
+func (g Grid) Validate() error {
+	if g.NX < 2 || g.NY < 2 || g.NZ < 2 {
+		return fmt.Errorf("hpcg: grid %dx%dx%d too small (need >= 2 per dim)", g.NX, g.NY, g.NZ)
+	}
+	return nil
+}
+
+// String renders "nx x ny x nz".
+func (g Grid) String() string { return fmt.Sprintf("%dx%dx%d", g.NX, g.NY, g.NZ) }
+
+// Operator is one HPCG variant: it can apply the system matrix and its
+// preconditioner, and it accounts its own work so GFLOP/s can be
+// reported per variant.
+type Operator interface {
+	// Name identifies the variant ("original", "intel-avx2",
+	// "matrix-free", "lfric").
+	Name() string
+	// Grid returns the discretisation grid.
+	Grid() Grid
+	// Apply computes y = A·x.
+	Apply(x, y []float64)
+	// Precondition computes z ≈ A⁻¹·r (one symmetric smoother sweep or
+	// column solve, depending on the variant).
+	Precondition(r, z []float64)
+	// FlopsPerApply returns the floating point operations one Apply
+	// performs.
+	FlopsPerApply() float64
+	// FlopsPerPrecondition returns the work of one Precondition.
+	FlopsPerPrecondition() float64
+	// BytesPerApply estimates the memory traffic of one Apply, for the
+	// simulated-platform model.
+	BytesPerApply() float64
+}

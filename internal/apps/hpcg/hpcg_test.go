@@ -1,0 +1,303 @@
+package hpcg
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func testGrid() Grid { return Grid{NX: 12, NY: 10, NZ: 8} }
+
+func randomVec(n int, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.Float64()*2 - 1
+	}
+	return v
+}
+
+func TestGridIndexRoundTrip(t *testing.T) {
+	g := testGrid()
+	for i := 0; i < g.N(); i++ {
+		ix, iy, iz := g.Coords(i)
+		if g.Idx(ix, iy, iz) != i {
+			t.Fatalf("index %d round-trips to %d", i, g.Idx(ix, iy, iz))
+		}
+	}
+	if g.In(-1, 0, 0) || g.In(0, g.NY, 0) {
+		t.Error("In accepts out-of-range points")
+	}
+	if err := (Grid{NX: 1, NY: 4, NZ: 4}).Validate(); err == nil {
+		t.Error("degenerate grid accepted")
+	}
+}
+
+func TestCSRStructure(t *testing.T) {
+	g := Grid{NX: 4, NY: 4, NZ: 4}
+	m := NewCSR(g)
+	// Interior point has 27 nonzeros, corner has 8.
+	wantNNZ := stencilEntries(g)
+	if m.NNZ() != wantNNZ {
+		t.Errorf("NNZ = %d, stencilEntries = %d", m.NNZ(), wantNNZ)
+	}
+	// Row sums: diagonal 26, off-diag -1 -> sum = 27 - (nnz of row).
+	n := g.N()
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	y := make([]float64, n)
+	m.Apply(ones, y)
+	for i := 0; i < n; i++ {
+		rowNNZ := int(m.rowPtr[i+1] - m.rowPtr[i])
+		want := 26.0 - float64(rowNNZ-1)
+		if math.Abs(y[i]-want) > 1e-12 {
+			t.Fatalf("row %d sum = %g, want %g", i, y[i], want)
+		}
+	}
+}
+
+func TestMatrixFreeMatchesCSR(t *testing.T) {
+	g := testGrid()
+	csr := NewCSR(g)
+	mf := NewMatrixFree(g)
+	x := randomVec(g.N(), 7)
+	y1 := make([]float64, g.N())
+	y2 := make([]float64, g.N())
+	csr.Apply(x, y1)
+	mf.Apply(x, y2)
+	for i := range y1 {
+		if math.Abs(y1[i]-y2[i]) > 1e-10 {
+			t.Fatalf("Apply differs at %d: csr %g vs mf %g", i, y1[i], y2[i])
+		}
+	}
+	// The preconditioners are the same SYMGS sweep: identical output.
+	r := randomVec(g.N(), 8)
+	z1 := make([]float64, g.N())
+	z2 := make([]float64, g.N())
+	csr.Precondition(r, z1)
+	mf.Precondition(r, z2)
+	for i := range z1 {
+		if math.Abs(z1[i]-z2[i]) > 1e-10 {
+			t.Fatalf("Precondition differs at %d: %g vs %g", i, z1[i], z2[i])
+		}
+	}
+}
+
+func TestTunedCSRMatchesPlain(t *testing.T) {
+	g := testGrid()
+	plain := NewCSR(g)
+	tuned := NewTunedCSR(g)
+	x := randomVec(g.N(), 9)
+	y1 := make([]float64, g.N())
+	y2 := make([]float64, g.N())
+	plain.Apply(x, y1)
+	tuned.Apply(x, y2)
+	for i := range y1 {
+		if math.Abs(y1[i]-y2[i]) > 1e-9 {
+			t.Fatalf("tuned SpMV differs at %d: %g vs %g", i, y1[i], y2[i])
+		}
+	}
+	if plain.Name() != "original" || tuned.Name() != "intel-avx2" {
+		t.Error("variant names wrong")
+	}
+}
+
+func TestOperatorsSymmetric(t *testing.T) {
+	// <Ax, y> == <x, Ay> for all variants (required for CG).
+	g := Grid{NX: 6, NY: 5, NZ: 7}
+	for _, variant := range Variants() {
+		op, err := NewOperator(variant, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randomVec(g.N(), 1)
+		y := randomVec(g.N(), 2)
+		ax := make([]float64, g.N())
+		ay := make([]float64, g.N())
+		op.Apply(x, ax)
+		op.Apply(y, ay)
+		lhs := dot(ax, y)
+		rhs := dot(x, ay)
+		if math.Abs(lhs-rhs) > 1e-9*math.Abs(lhs) {
+			t.Errorf("%s not symmetric: %g vs %g", variant, lhs, rhs)
+		}
+	}
+}
+
+func TestOperatorsPositiveDefinite(t *testing.T) {
+	// <Ax, x> > 0 for random nonzero x.
+	g := Grid{NX: 5, NY: 5, NZ: 5}
+	for _, variant := range Variants() {
+		op, _ := NewOperator(variant, g)
+		for seed := int64(0); seed < 5; seed++ {
+			x := randomVec(g.N(), seed)
+			ax := make([]float64, g.N())
+			op.Apply(x, ax)
+			if q := dot(ax, x); q <= 0 {
+				t.Errorf("%s: x'Ax = %g <= 0", variant, q)
+			}
+		}
+	}
+}
+
+func TestLFRicPreconditionSolvesVerticalSystem(t *testing.T) {
+	// The Thomas solve must invert the vertical tridiagonal exactly:
+	// applying only the vertical part of the operator to z recovers r.
+	g := Grid{NX: 3, NY: 3, NZ: 16}
+	op := NewLFRic(g)
+	r := randomVec(g.N(), 3)
+	z := make([]float64, g.N())
+	op.Precondition(r, z)
+	stride := g.NX * g.NY
+	for iy := 0; iy < g.NY; iy++ {
+		for ix := 0; ix < g.NX; ix++ {
+			for k := 0; k < g.NZ; k++ {
+				i := g.Idx(ix, iy, k)
+				sum := op.d * z[i]
+				if k > 0 {
+					sum += op.v * z[i-stride]
+				}
+				if k < g.NZ-1 {
+					sum += op.v * z[i+stride]
+				}
+				if math.Abs(sum-r[i]) > 1e-9 {
+					t.Fatalf("vertical solve wrong at col (%d,%d) level %d: %g vs %g", ix, iy, k, sum, r[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCGConvergesAllVariants(t *testing.T) {
+	g := testGrid()
+	for _, variant := range Variants() {
+		op, _ := NewOperator(variant, g)
+		n := g.N()
+		ones := make([]float64, n)
+		for i := range ones {
+			ones[i] = 1
+		}
+		b := make([]float64, n)
+		op.Apply(ones, b)
+		x := make([]float64, n)
+		res, err := CG(op, b, x, 200, 1e-10)
+		if err != nil {
+			t.Fatalf("%s: %v", variant, err)
+		}
+		if !res.Converged {
+			t.Errorf("%s: CG did not converge (residual %g)", variant, res.Residual)
+			continue
+		}
+		maxErr := 0.0
+		for i := range x {
+			if e := math.Abs(x[i] - 1); e > maxErr {
+				maxErr = e
+			}
+		}
+		if maxErr > 1e-6 {
+			t.Errorf("%s: solution error %g", variant, maxErr)
+		}
+		if res.Flops <= 0 {
+			t.Errorf("%s: no flops counted", variant)
+		}
+	}
+}
+
+func TestPreconditioningHelps(t *testing.T) {
+	// CG with the SYMGS preconditioner must converge in fewer iterations
+	// than with an identity preconditioner.
+	g := Grid{NX: 16, NY: 16, NZ: 16}
+	op := NewCSR(g)
+	n := g.N()
+	b := randomVec(n, 4)
+
+	x1 := make([]float64, n)
+	pre, err := CG(op, b, x1, 500, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2 := make([]float64, n)
+	none, err := CG(identityPrecond{op}, b, x2, 500, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pre.Converged || !none.Converged {
+		t.Fatalf("convergence: pre=%v none=%v", pre.Converged, none.Converged)
+	}
+	if pre.Iterations >= none.Iterations {
+		t.Errorf("preconditioned CG took %d iterations vs %d plain", pre.Iterations, none.Iterations)
+	}
+}
+
+// identityPrecond wraps an operator with a do-nothing preconditioner.
+type identityPrecond struct{ Operator }
+
+func (p identityPrecond) Precondition(r, z []float64)   { copy(z, r) }
+func (p identityPrecond) FlopsPerPrecondition() float64 { return 0 }
+
+func TestCGErrors(t *testing.T) {
+	g := Grid{NX: 4, NY: 4, NZ: 4}
+	op := NewCSR(g)
+	if _, err := CG(op, make([]float64, 3), make([]float64, g.N()), 10, 0); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestRunHostBenchmark(t *testing.T) {
+	res, err := Run(Config{Variant: "original", Grid: Grid{NX: 16, NY: 16, NZ: 16}, MaxIters: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GFlops <= 0 {
+		t.Errorf("GFlops = %g", res.GFlops)
+	}
+	if !res.Valid {
+		t.Error("run should validate")
+	}
+	for _, want := range []string{"GFLOP/s rating of:", "Results are valid", "variant=original"} {
+		if !strings.Contains(res.Output, want) {
+			t.Errorf("output missing %q:\n%s", want, res.Output)
+		}
+	}
+}
+
+func TestRunUnknownVariant(t *testing.T) {
+	if _, err := Run(Config{Variant: "quantum"}); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+func TestMatrixFreeFlopsMatchCSR(t *testing.T) {
+	g := testGrid()
+	csr := NewCSR(g)
+	mf := NewMatrixFree(g)
+	if csr.FlopsPerApply() != mf.FlopsPerApply() {
+		t.Errorf("flop accounting differs: csr %g, mf %g", csr.FlopsPerApply(), mf.FlopsPerApply())
+	}
+	// Matrix-free moves far fewer bytes.
+	if mf.BytesPerApply() >= csr.BytesPerApply()/3 {
+		t.Errorf("matrix-free traffic %g should be well below CSR %g", mf.BytesPerApply(), csr.BytesPerApply())
+	}
+}
+
+func TestHostVariantOrdering(t *testing.T) {
+	// On real hardware (the host), matrix-free should outrate CSR: same
+	// flop count, far less memory traffic. Use a grid large enough to
+	// exceed typical L2 but small enough for CI.
+	g := Grid{NX: 48, NY: 48, NZ: 48}
+	run := func(variant string) float64 {
+		res, err := Run(Config{Variant: variant, Grid: g, MaxIters: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.GFlops
+	}
+	orig := run("original")
+	mf := run("matrix-free")
+	if mf <= orig {
+		t.Errorf("matrix-free %g GF/s should beat CSR %g GF/s on the host", mf, orig)
+	}
+}

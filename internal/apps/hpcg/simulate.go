@@ -1,0 +1,203 @@
+package hpcg
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/machine"
+	"repro/internal/platform"
+)
+
+// Table 2 reproduction: HPCG is memory-bound, so each variant's GFLOP/s
+// on a platform is (sustained bandwidth) / (arithmetic-intensity⁻¹), with
+// the effective bytes-per-flop depending on both the variant and the
+// cache hierarchy. The table below is calibrated from the paper's Table 2
+// figures:
+//
+//   - CSR streams 12 bytes of matrix per nonzero plus gather traffic, and
+//     its intensity barely changes with cache size.
+//   - The vendor-tuned CSR reduces gather and index overheads.
+//   - Matrix-free drops the matrix entirely; its remaining vector traffic
+//     shrinks further on Rome, whose 256 MB/socket L3 (vs Cascade Lake's
+//     27.5 MB) captures the stencil's plane reuse.
+//   - LFRic reads several coefficient fields per column with strided
+//     access; Rome's cache again absorbs much of the re-read traffic.
+var bytesPerFlop = map[string]map[string]float64{
+	// variant -> microarch -> effective DRAM bytes per flop
+	"original":    {"cascadelake": 9.40, "rome": 8.57, "milan": 8.40, "thunderx2": 9.00, "host": 9.00},
+	"intel-avx2":  {"cascadelake": 5.78}, // vendor binaries exist only for Intel (Table 2: N/A on AMD)
+	"matrix-free": {"cascadelake": 4.42, "rome": 2.70, "milan": 2.65, "thunderx2": 4.00, "host": 3.50},
+	"lfric":       {"cascadelake": 12.19, "rome": 6.00, "milan": 5.90, "thunderx2": 11.00, "host": 8.00},
+}
+
+// SimConfig describes one simulated HPCG run on a platform.
+type SimConfig struct {
+	Variant string
+	Proc    *platform.Processor
+	// Ranks is the MPI process count on the node (paper: 40 on Cascade
+	// Lake, 128 on Rome — one per core).
+	Ranks int
+	// SystemFactor carries platform effects (machine.SystemFactor).
+	SystemFactor float64
+}
+
+// SimResult is one simulated Table 2 cell.
+type SimResult struct {
+	Variant   string
+	GFlops    float64
+	Supported bool
+	Reason    string
+}
+
+// Simulate predicts the GFLOP/s rating for a variant on a platform.
+func Simulate(cfg SimConfig) (*SimResult, error) {
+	if cfg.Proc == nil {
+		return nil, fmt.Errorf("hpcg: simulate needs a processor")
+	}
+	variants, ok := bytesPerFlop[cfg.Variant]
+	if !ok {
+		return nil, fmt.Errorf("hpcg: unknown variant %q", cfg.Variant)
+	}
+	bpf, ok := variants[cfg.Proc.Microarch]
+	if !ok {
+		if cfg.Variant == "intel-avx2" {
+			return &SimResult{
+				Variant: cfg.Variant,
+				Reason:  "vendor-optimised binaries unavailable for " + cfg.Proc.Microarch,
+			}, nil
+		}
+		bpf = variants["host"]
+		if bpf == 0 {
+			return nil, fmt.Errorf("hpcg: no traffic calibration for %s on %s", cfg.Variant, cfg.Proc.Microarch)
+		}
+	}
+	ranks := cfg.Ranks
+	if ranks <= 0 {
+		ranks = cfg.Proc.TotalCores()
+	}
+	run := machine.Run{
+		Proc:         cfg.Proc,
+		Model:        machine.MPI,
+		Threads:      1,
+		Processes:    ranks,
+		SystemFactor: cfg.SystemFactor,
+	}
+	bw, err := machine.EffectiveBandwidth(run)
+	if err != nil {
+		return nil, fmt.Errorf("hpcg: %w", err)
+	}
+	return &SimResult{
+		Variant:   cfg.Variant,
+		GFlops:    bw / bpf,
+		Supported: true,
+	}, nil
+}
+
+// Table2Row is one row of the paper's Table 2: a variant's GFLOP/s on
+// Intel Cascade Lake (Isambard, 40 ranks) and AMD Rome (ARCHER2, 128
+// ranks).
+type Table2Row struct {
+	Variant     string
+	CascadeLake float64
+	Rome        float64
+	RomeNA      bool
+}
+
+// Table2 reproduces the paper's Table 2 with the simulated platforms.
+func Table2() ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, v := range Variants() {
+		row := Table2Row{Variant: v}
+		cl, err := Simulate(SimConfig{Variant: v, Proc: platform.CascadeLake6230, Ranks: 40, SystemFactor: 1})
+		if err != nil {
+			return nil, err
+		}
+		row.CascadeLake = cl.GFlops
+		rome, err := Simulate(SimConfig{Variant: v, Proc: platform.EPYCRome7742, Ranks: 128, SystemFactor: 1})
+		if err != nil {
+			return nil, err
+		}
+		if !rome.Supported {
+			row.RomeNA = true
+		} else {
+			row.Rome = rome.GFlops
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// --- Strong scaling (extension experiment) -----------------------------------
+//
+// The paper's Table 2 is single-node; a natural follow-on the framework
+// makes cheap is strong scaling: the same global problem spread over more
+// nodes. HPCG's per-iteration structure is 1 SpMV halo exchange + 2
+// smoother halo exchanges + 3 dot-product allreduces, so as nodes grow
+// the compute term shrinks linearly while the allreduce term grows
+// logarithmically and halo surfaces shrink only as (volume)^(2/3) — the
+// classic strong-scaling efficiency rolloff.
+
+// ScalePoint is one node count of a strong-scaling sweep.
+type ScalePoint struct {
+	Nodes      int
+	GFlops     float64
+	Speedup    float64 // vs the 1-node point
+	Efficiency float64 // Speedup / Nodes
+}
+
+// SimulateStrongScaling sweeps node counts for a fixed global problem on
+// one system. globalN is the global cube dimension (e.g. 512);
+// iterations is the CG iteration count (HPCG runs 50).
+func SimulateStrongScaling(system string, proc *platform.Processor, globalN int, nodeCounts []int, iterations int) ([]ScalePoint, error) {
+	if proc == nil || globalN < 16 || len(nodeCounts) == 0 {
+		return nil, fmt.Errorf("hpcg: invalid strong-scaling configuration")
+	}
+	if iterations <= 0 {
+		iterations = 50
+	}
+	variants := bytesPerFlop["original"]
+	bpf, ok := variants[proc.Microarch]
+	if !ok {
+		bpf = variants["host"]
+	}
+	net := machine.NetworkFor(system)
+	n3 := float64(globalN) * float64(globalN) * float64(globalN)
+	// Flops per iteration: SpMV + SYMGS (~3 operator applications at
+	// 2*27 flops/row) plus vector work.
+	flopsPerIter := 3*2*27*n3 + 10*n3
+	totalFlops := float64(iterations) * flopsPerIter
+	totalBytes := totalFlops * bpf
+
+	var out []ScalePoint
+	for _, nodes := range nodeCounts {
+		if nodes <= 0 {
+			return nil, fmt.Errorf("hpcg: invalid node count %d", nodes)
+		}
+		ranks := nodes * proc.TotalCores()
+		run := machine.Run{
+			Proc:         proc,
+			Model:        machine.MPI,
+			Threads:      1,
+			Processes:    proc.TotalCores(),
+			SystemFactor: machine.SystemFactor(system),
+		}
+		nodeBW, err := machine.EffectiveBandwidth(run)
+		if err != nil {
+			return nil, err
+		}
+		compute := totalBytes / (nodeBW * 1e9 * float64(nodes))
+		// Halo: each rank exchanges 6 faces of its local block three
+		// times per iteration (SpMV + two smoother sweeps).
+		localN := n3 / float64(ranks)
+		face := math.Cbrt(localN) * math.Cbrt(localN) * 8
+		comm := float64(iterations) * (3*net.HaloExchangeTime(face, 6) + 3*net.AllReduceTime(8, ranks))
+		total := compute + comm
+		out = append(out, ScalePoint{Nodes: nodes, GFlops: totalFlops / total / 1e9})
+	}
+	base := out[0]
+	for i := range out {
+		out[i].Speedup = out[i].GFlops / base.GFlops * float64(base.Nodes)
+		out[i].Efficiency = out[i].Speedup / float64(out[i].Nodes)
+	}
+	return out, nil
+}

@@ -1,0 +1,174 @@
+package hpcg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestTable2Shapes(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Table2Row{}
+	for _, r := range rows {
+		byName[r.Variant] = r
+	}
+	// Paper's Table 2 values for shape comparison:
+	//   variant        CL     Rome
+	//   original       24.0   39.2
+	//   intel-avx2     39.0   N/A
+	//   matrix-free    51.0   124.2
+	//   lfric          18.5   56.0
+	paper := map[string][2]float64{
+		"original":    {24.0, 39.2},
+		"intel-avx2":  {39.0, math.NaN()},
+		"matrix-free": {51.0, 124.2},
+		"lfric":       {18.5, 56.0},
+	}
+	for v, want := range paper {
+		row, ok := byName[v]
+		if !ok {
+			t.Fatalf("missing variant %s", v)
+		}
+		if rel := math.Abs(row.CascadeLake-want[0]) / want[0]; rel > 0.15 {
+			t.Errorf("%s CL = %.1f, paper %.1f (rel err %.2f)", v, row.CascadeLake, want[0], rel)
+		}
+		if math.IsNaN(want[1]) {
+			if !row.RomeNA {
+				t.Errorf("%s should be N/A on Rome", v)
+			}
+			continue
+		}
+		if row.RomeNA {
+			t.Errorf("%s unexpectedly N/A on Rome", v)
+			continue
+		}
+		if rel := math.Abs(row.Rome-want[1]) / want[1]; rel > 0.15 {
+			t.Errorf("%s Rome = %.1f, paper %.1f (rel err %.2f)", v, row.Rome, want[1], rel)
+		}
+	}
+	// Orderings that constitute the paper's findings.
+	if !(byName["matrix-free"].CascadeLake > byName["intel-avx2"].CascadeLake &&
+		byName["intel-avx2"].CascadeLake > byName["original"].CascadeLake &&
+		byName["original"].CascadeLake > byName["lfric"].CascadeLake) {
+		t.Error("Cascade Lake ordering MF > avx2 > CSR > LFRic violated")
+	}
+	if !(byName["matrix-free"].Rome > byName["lfric"].Rome &&
+		byName["lfric"].Rome > byName["original"].Rome) {
+		t.Error("Rome ordering MF > LFRic > CSR violated")
+	}
+}
+
+func TestEquation1Efficiencies(t *testing.T) {
+	// E_I = avx2/orig ~ 1.625; E_A = mf/orig ~ 2.125 (CL), ~3.17 (Rome);
+	// algorithmic gain exceeds implementation gain.
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Table2Row{}
+	for _, r := range rows {
+		byName[r.Variant] = r
+	}
+	ei := byName["intel-avx2"].CascadeLake / byName["original"].CascadeLake
+	eaCL := byName["matrix-free"].CascadeLake / byName["original"].CascadeLake
+	eaRome := byName["matrix-free"].Rome / byName["original"].Rome
+	if math.Abs(ei-1.625) > 0.2 {
+		t.Errorf("E_I = %.3f, paper 1.625", ei)
+	}
+	if math.Abs(eaCL-2.125) > 0.25 {
+		t.Errorf("E_A(CL) = %.3f, paper 2.125", eaCL)
+	}
+	if math.Abs(eaRome-3.168) > 0.4 {
+		t.Errorf("E_A(Rome) = %.3f, paper 3.168", eaRome)
+	}
+	if eaCL <= ei {
+		t.Error("the paper's key finding: algorithmic gain > implementation gain")
+	}
+}
+
+func TestSimulateUnknownVariant(t *testing.T) {
+	if _, err := Simulate(SimConfig{Variant: "nope", Proc: platform.CascadeLake6230}); err == nil {
+		t.Error("unknown variant accepted")
+	}
+	if _, err := Simulate(SimConfig{Variant: "original"}); err == nil {
+		t.Error("nil processor accepted")
+	}
+}
+
+func TestSimulateVendorVariantNAOffIntel(t *testing.T) {
+	res, err := Simulate(SimConfig{Variant: "intel-avx2", Proc: platform.EPYCRome7742, Ranks: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Supported {
+		t.Error("intel-avx2 should be unsupported on Rome")
+	}
+	if res.Reason == "" {
+		t.Error("N/A needs a reason")
+	}
+}
+
+func TestSimulateDefaultsRanksToCores(t *testing.T) {
+	a, err := Simulate(SimConfig{Variant: "original", Proc: platform.CascadeLake6230})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(SimConfig{Variant: "original", Proc: platform.CascadeLake6230, Ranks: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.GFlops != b.GFlops {
+		t.Errorf("default ranks should equal core count: %g vs %g", a.GFlops, b.GFlops)
+	}
+}
+
+func TestStrongScalingRolloff(t *testing.T) {
+	points, err := SimulateStrongScaling("archer2", platform.EPYCRome7742, 512, []int{1, 2, 4, 8, 16, 32, 64}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 7 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Throughput grows with nodes, but efficiency declines monotonically
+	// toward the latency wall.
+	for i := 1; i < len(points); i++ {
+		if points[i].GFlops <= points[i-1].GFlops {
+			t.Errorf("throughput not increasing at %d nodes: %.1f <= %.1f",
+				points[i].Nodes, points[i].GFlops, points[i-1].GFlops)
+		}
+		if points[i].Efficiency > points[i-1].Efficiency+1e-9 {
+			t.Errorf("efficiency increased at %d nodes: %.3f > %.3f",
+				points[i].Nodes, points[i].Efficiency, points[i-1].Efficiency)
+		}
+	}
+	if points[0].Efficiency < 0.999 || points[0].Efficiency > 1.001 {
+		t.Errorf("1-node efficiency = %g, want 1", points[0].Efficiency)
+	}
+	last := points[len(points)-1]
+	if last.Efficiency >= 0.98 {
+		t.Errorf("64-node efficiency = %.3f; strong scaling should roll off", last.Efficiency)
+	}
+	if last.Efficiency < 0.2 {
+		t.Errorf("64-node efficiency = %.3f; rolloff too brutal for this problem size", last.Efficiency)
+	}
+}
+
+func TestStrongScalingValidation(t *testing.T) {
+	if _, err := SimulateStrongScaling("archer2", nil, 512, []int{1}, 50); err == nil {
+		t.Error("nil processor accepted")
+	}
+	if _, err := SimulateStrongScaling("archer2", platform.EPYCRome7742, 8, []int{1}, 50); err == nil {
+		t.Error("tiny problem accepted")
+	}
+	if _, err := SimulateStrongScaling("archer2", platform.EPYCRome7742, 512, []int{0}, 50); err == nil {
+		t.Error("zero nodes accepted")
+	}
+}

@@ -1,0 +1,155 @@
+package hpgmg
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMultigridConverges(t *testing.T) {
+	s, err := NewSolver(5) // 31^3
+	if err != nil {
+		t.Fatal(err)
+	}
+	setManufacturedRHS(s.Fine())
+	rel := s.Solve(1e-9, 30)
+	if rel > 1e-9 {
+		t.Errorf("relative residual = %g after %d cycles", rel, s.VCycleCount)
+	}
+	if s.VCycleCount > 15 {
+		t.Errorf("multigrid needed %d V-cycles; convergence factor too weak", s.VCycleCount)
+	}
+	if s.FlopCount <= 0 {
+		t.Error("no flops accounted")
+	}
+}
+
+func TestDiscretizationErrorSecondOrder(t *testing.T) {
+	// Solving at h and h/2 must shrink the max error by ~4x (O(h^2)).
+	errAt := func(k int) float64 {
+		s, err := NewSolver(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		setManufacturedRHS(s.Fine())
+		if rel := s.Solve(1e-10, 40); rel > 1e-9 {
+			t.Fatalf("k=%d did not converge: %g", k, rel)
+		}
+		return maxError(s.Fine())
+	}
+	e3 := errAt(3) // 7^3
+	e4 := errAt(4) // 15^3
+	e5 := errAt(5) // 31^3
+	r1 := e3 / e4
+	r2 := e4 / e5
+	if r1 < 3 || r1 > 5.5 || r2 < 3 || r2 > 5.5 {
+		t.Errorf("error ratios %.2f, %.2f; want ~4 (O(h^2)): e3=%g e4=%g e5=%g", r1, r2, e3, e4, e5)
+	}
+}
+
+func TestVCycleReducesResidual(t *testing.T) {
+	s, _ := NewSolver(4)
+	setManufacturedRHS(s.Fine())
+	fine := s.Fine()
+	b2 := s.norm(fine.b)
+	// Start from zero; each V-cycle should contract the residual by a
+	// classical multigrid factor (<< 0.5).
+	prev := b2
+	for c := 0; c < 4; c++ {
+		s.vcycle(0)
+		s.residual(fine)
+		cur := s.norm(fine.r)
+		if cur > 0.5*prev {
+			t.Fatalf("cycle %d: residual %g did not contract from %g", c, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestFMGBeatsColdVCycle(t *testing.T) {
+	// FMG must land closer to the solution than a single cold V-cycle.
+	run := func(useFMG bool) float64 {
+		s, _ := NewSolver(4)
+		setManufacturedRHS(s.Fine())
+		if useFMG {
+			s.FMG()
+		} else {
+			s.vcycle(0)
+		}
+		s.residual(s.Fine())
+		return s.norm(s.Fine().r)
+	}
+	if fmg, cold := run(true), run(false); fmg >= cold {
+		t.Errorf("FMG residual %g should beat cold V-cycle %g", fmg, cold)
+	}
+}
+
+func TestSolverWorkersConsistent(t *testing.T) {
+	// Parallel and serial smoothing must agree (red-black ordering is
+	// deterministic regardless of worker count).
+	run := func(workers int) []float64 {
+		s, _ := NewSolver(4)
+		s.Workers = workers
+		setManufacturedRHS(s.Fine())
+		s.Solve(1e-8, 20)
+		out := make([]float64, len(s.Fine().u))
+		copy(out, s.Fine().u)
+		return out
+	}
+	serial := run(1)
+	parallel := run(4)
+	for i := range serial {
+		if math.Abs(serial[i]-parallel[i]) > 1e-12 {
+			t.Fatalf("worker count changes the answer at %d: %g vs %g", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestNewSolverValidation(t *testing.T) {
+	if _, err := NewSolver(0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewSolver(11); err == nil {
+		t.Error("k=11 accepted")
+	}
+}
+
+func TestRunProducesThreeLevels(t *testing.T) {
+	res, err := Run(Config{Log2Dim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) != 3 {
+		t.Fatalf("levels = %d", len(res.Levels))
+	}
+	labels := []string{"l0", "l1", "l2"}
+	for i, l := range res.Levels {
+		if l.Label != labels[i] {
+			t.Errorf("level %d label %s", i, l.Label)
+		}
+		if l.MDOFs <= 0 {
+			t.Errorf("%s rate = %g", l.Label, l.MDOFs)
+		}
+		if !l.Valid {
+			t.Errorf("%s invalid: residual %g, err %g", l.Label, l.Residual, l.MaxError)
+		}
+	}
+	if _, ok := res.FOM("l0"); !ok {
+		t.Error("FOM lookup failed")
+	}
+	if _, ok := res.FOM("l9"); ok {
+		t.Error("bogus FOM found")
+	}
+	if !strings.Contains(res.Output, "average solve rate l0") {
+		t.Errorf("output:\n%s", res.Output)
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Log2Dim: 1}); err == nil {
+		t.Error("too-small grid accepted")
+	}
+	if _, err := Run(Config{Log2Dim: 99}); err == nil {
+		t.Error("huge grid accepted")
+	}
+}

@@ -1,0 +1,110 @@
+package hpgmg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestTable4Shapes(t *testing.T) {
+	rows, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Table4Row{}
+	for _, r := range rows {
+		byName[r.System] = r
+	}
+	// Paper's Table 4 (10^6 DOF/s):
+	paper := map[string][3]float64{
+		"archer2":       {95.36, 83.43, 62.18},
+		"cosma8":        {81.67, 72.96, 75.09},
+		"csd3":          {126.10, 94.39, 49.40},
+		"isambard-macs": {30.59, 25.55, 17.55},
+	}
+	for sys, want := range paper {
+		row, ok := byName[sys]
+		if !ok {
+			t.Fatalf("missing system %s", sys)
+		}
+		got := [3]float64{row.L0, row.L1, row.L2}
+		for i, label := range []string{"l0", "l1", "l2"} {
+			rel := math.Abs(got[i]-want[i]) / want[i]
+			if rel > 0.25 {
+				t.Errorf("%s %s = %.2f, paper %.2f (rel err %.2f)", sys, label, got[i], want[i], rel)
+			}
+		}
+	}
+	// The orderings the paper's discussion rests on:
+	// At l0, CSD3 > ARCHER2 > COSMA8 >> Isambard MACS.
+	if !(byName["csd3"].L0 > byName["archer2"].L0 &&
+		byName["archer2"].L0 > byName["cosma8"].L0 &&
+		byName["cosma8"].L0 > 2*byName["isambard-macs"].L0) {
+		t.Errorf("l0 ordering violated: %+v", rows)
+	}
+	// At l2, low-latency COSMA8 overtakes ARCHER2 and CSD3 collapses
+	// below both ("platform specifics beyond the architecture").
+	if !(byName["cosma8"].L2 > byName["archer2"].L2) {
+		t.Errorf("l2 crossover missing: cosma8 %.2f vs archer2 %.2f", byName["cosma8"].L2, byName["archer2"].L2)
+	}
+	if !(byName["csd3"].L2 < byName["archer2"].L2) {
+		t.Errorf("csd3 l2 %.2f should fall below archer2 %.2f", byName["csd3"].L2, byName["archer2"].L2)
+	}
+	// Same-architecture gap: CSD3 and Isambard MACS are both Cascade
+	// Lake yet differ ~4x at l0.
+	gap := byName["csd3"].L0 / byName["isambard-macs"].L0
+	if gap < 3 || gap > 5.5 {
+		t.Errorf("Cascade Lake platform gap = %.2f, paper ~4.1", gap)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(SimConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	cfg := PaperConfig("archer2", platform.EPYCRome7742)
+	cfg.Nodes = 0
+	if _, err := Simulate(cfg); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	cfg = PaperConfig("archer2", platform.EPYCRome7742)
+	cfg.Log2BoxDim = 1
+	if _, err := Simulate(cfg); err == nil {
+		t.Error("tiny box accepted")
+	}
+}
+
+func TestSimulateLevelsShrink(t *testing.T) {
+	levels, err := Simulate(PaperConfig("archer2", platform.EPYCRome7742))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 3 {
+		t.Fatalf("levels = %d", len(levels))
+	}
+	// DOFs fall 8x per level; time falls but less than 8x (latency).
+	if levels[1].DOFs*8 != levels[0].DOFs {
+		t.Errorf("dofs: %d, %d", levels[0].DOFs, levels[1].DOFs)
+	}
+	if !(levels[0].Seconds > levels[1].Seconds && levels[1].Seconds > levels[2].Seconds) {
+		t.Error("coarser replays should be faster in absolute time")
+	}
+	if !(levels[2].Seconds > levels[0].Seconds/64) {
+		t.Error("l2 should be latency-limited (slower than perfect 64x scaling)")
+	}
+}
+
+func TestSimulateUnknownSystemStillWorks(t *testing.T) {
+	cfg := PaperConfig("some-new-machine", platform.EPYCMilan7763)
+	levels, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levels[0].MDOFs <= 0 {
+		t.Error("unknown system should fall back to defaults")
+	}
+}

@@ -1,0 +1,399 @@
+package concretize
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/repo"
+	"repro/internal/spec"
+)
+
+func defaultOpts() Options {
+	return Options{
+		Repo: repo.Builtin(),
+		Compilers: []spec.Compiler{
+			{Name: "gcc", Version: spec.ExactVersion("12.1.0")},
+			{Name: "gcc", Version: spec.ExactVersion("9.2.0")},
+			{Name: "oneapi", Version: spec.ExactVersion("2023.1.0")},
+		},
+	}
+}
+
+func mustConcretize(t *testing.T, text string, opts Options) *Result {
+	t.Helper()
+	s, err := spec.Parse(text)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	res, err := Concretize(s, opts)
+	if err != nil {
+		t.Fatalf("concretize %q: %v", text, err)
+	}
+	return res
+}
+
+func TestConcretizeSimple(t *testing.T) {
+	res := mustConcretize(t, "stream", defaultOpts())
+	s := res.Spec
+	if !s.Concrete {
+		t.Fatal("result not concrete")
+	}
+	if got := s.Version.String(); got != "5.10" {
+		t.Errorf("version = %s", got)
+	}
+	if s.Compiler.Name != "gcc" || s.Compiler.Version.String() != "12.1.0" {
+		t.Errorf("compiler = %v (want system default gcc@12.1.0)", s.Compiler)
+	}
+	if v, ok := s.Variants["openmp"]; !ok || !v.Bool {
+		t.Errorf("default variant +openmp missing: %+v", s.Variants)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestConcretizeIsDeterministic(t *testing.T) {
+	opts := defaultOpts()
+	a := mustConcretize(t, "babelstream model=kokkos", opts)
+	b := mustConcretize(t, "babelstream model=kokkos", opts)
+	if a.Spec.String() != b.Spec.String() {
+		t.Errorf("non-deterministic:\n%s\n%s", a.Spec, b.Spec)
+	}
+	if a.Spec.DAGHash() != b.Spec.DAGHash() {
+		t.Error("hash differs between identical runs")
+	}
+	if len(a.Steps) != len(b.Steps) {
+		t.Error("trace differs between identical runs")
+	}
+}
+
+func TestPaperBabelStreamSpec(t *testing.T) {
+	// The paper's §3.1 spec: babelstream%gcc@9.2.0 (with the omp model).
+	res := mustConcretize(t, "babelstream%gcc@9.2.0 model=omp", defaultOpts())
+	s := res.Spec
+	if s.Compiler.String() != "gcc@9.2.0" {
+		t.Errorf("compiler = %v", s.Compiler)
+	}
+	if got := s.Variants["model"].Str; got != "omp" {
+		t.Errorf("model = %s", got)
+	}
+	// model=omp must not drag in kokkos/cuda/tbb.
+	for _, absent := range []string{"kokkos", "cuda", "intel-tbb", "pocl"} {
+		if s.Lookup(absent) != nil {
+			t.Errorf("model=omp build should not depend on %s", absent)
+		}
+	}
+	if s.Lookup("cmake") == nil {
+		t.Error("cmake build dependency missing")
+	}
+}
+
+func TestConditionalDependencyTriggers(t *testing.T) {
+	res := mustConcretize(t, "babelstream model=kokkos", defaultOpts())
+	k := res.Spec.Lookup("kokkos")
+	if k == nil {
+		t.Fatal("model=kokkos must pull in kokkos")
+	}
+	if !k.Concrete {
+		t.Error("kokkos dep not concrete")
+	}
+	// Kokkos inherits the root's compiler.
+	if k.Compiler.Name != "gcc" {
+		t.Errorf("kokkos compiler = %v", k.Compiler)
+	}
+	res = mustConcretize(t, "babelstream model=cuda", defaultOpts())
+	if res.Spec.Lookup("cuda") == nil {
+		t.Error("model=cuda must pull in cuda")
+	}
+}
+
+func TestVirtualDefaultProvider(t *testing.T) {
+	// hpgmg depends on virtual "mpi"; with no externals or prefs the
+	// conventional default is openmpi.
+	res := mustConcretize(t, "hpgmg", defaultOpts())
+	m := res.Spec.Lookup("openmpi")
+	if m == nil {
+		t.Fatalf("expected openmpi provider, spec: %s", res.Spec)
+	}
+	if got := m.Version.String(); got != "4.1.4" {
+		t.Errorf("openmpi version = %s", got)
+	}
+	if res.Spec.Lookup("python") == nil {
+		t.Error("hpgmg must depend on python")
+	}
+}
+
+func TestVirtualProviderPreference(t *testing.T) {
+	opts := defaultOpts()
+	opts.Providers = map[string]string{"mpi": "mpich"}
+	res := mustConcretize(t, "hpgmg", opts)
+	if res.Spec.Lookup("mpich") == nil {
+		t.Errorf("provider preference ignored: %s", res.Spec)
+	}
+	if res.Spec.Lookup("openmpi") != nil {
+		t.Error("both providers present")
+	}
+	opts.Providers = map[string]string{"mpi": "zlib"}
+	s := spec.MustParse("hpgmg")
+	if _, err := Concretize(s, opts); err == nil {
+		t.Error("non-provider preference accepted")
+	}
+}
+
+func TestVirtualExplicitProviderPin(t *testing.T) {
+	res := mustConcretize(t, "hpgmg ^mvapich2@2.3.6", defaultOpts())
+	m := res.Spec.Lookup("mvapich2")
+	if m == nil {
+		t.Fatalf("explicit provider pin ignored: %s", res.Spec)
+	}
+	if m.Version.String() != "2.3.6" {
+		t.Errorf("mvapich2 version = %s", m.Version)
+	}
+}
+
+func TestExternalsPreferred(t *testing.T) {
+	opts := defaultOpts()
+	opts.Externals = []External{
+		{Spec: mustExternalSpec("cray-mpich@8.1.23"), Path: "/opt/cray/pe/mpich/8.1.23"},
+		{Spec: mustExternalSpec("python@3.10.12"), Path: "/usr"},
+	}
+	res := mustConcretize(t, "hpgmg", opts)
+	m := res.Spec.Lookup("cray-mpich")
+	if m == nil {
+		t.Fatalf("external MPI not chosen: %s", res.Spec)
+	}
+	if !m.External || m.ExternalPath != "/opt/cray/pe/mpich/8.1.23" {
+		t.Errorf("external not recorded: %+v", m)
+	}
+	p := res.Spec.Lookup("python")
+	if p == nil || !p.External || p.Version.String() != "3.10.12" {
+		t.Errorf("external python not chosen: %+v", p)
+	}
+	// Provenance must mention the external (Principle 4).
+	joined := strings.Join(res.Steps, "\n")
+	if !strings.Contains(joined, "external") {
+		t.Errorf("trace does not record external use:\n%s", joined)
+	}
+}
+
+func TestTable3Concretization(t *testing.T) {
+	// Reproduces Table 3: concretized build dependencies of hpgmg%gcc on
+	// the four systems of the paper.
+	type sysConfig struct {
+		name   string
+		gcc    string
+		mpi    string
+		mpiVer string
+		python string
+	}
+	systems := []sysConfig{
+		{"archer2", "11.2.0", "cray-mpich", "8.1.23", "3.10.12"},
+		{"cosma8", "11.1.0", "mvapich2", "2.3.6", "2.7.15"},
+		{"csd3", "11.2.0", "openmpi", "4.0.4", "3.8.2"},
+		{"isambard-macs", "9.2.0", "openmpi", "4.0.3", "3.7.5"},
+	}
+	for _, sc := range systems {
+		opts := Options{
+			Repo: repo.Builtin(),
+			Compilers: []spec.Compiler{
+				{Name: "gcc", Version: spec.ExactVersion(spec.Version(sc.gcc))},
+			},
+			Externals: []External{
+				{Spec: mustExternalSpec(sc.mpi + "@" + sc.mpiVer), Path: "/opt/" + sc.mpi},
+				{Spec: mustExternalSpec("python@" + sc.python), Path: "/usr"},
+			},
+		}
+		res := mustConcretize(t, "hpgmg%gcc", opts)
+		s := res.Spec
+		if got := s.Compiler.Version.String(); got != sc.gcc {
+			t.Errorf("%s: gcc = %s, want %s", sc.name, got, sc.gcc)
+		}
+		mpi := s.Lookup(sc.mpi)
+		if mpi == nil {
+			t.Errorf("%s: MPI provider %s not selected: %s", sc.name, sc.mpi, s)
+			continue
+		}
+		if got := mpi.Version.String(); got != sc.mpiVer {
+			t.Errorf("%s: %s = %s, want %s", sc.name, sc.mpi, got, sc.mpiVer)
+		}
+		py := s.Lookup("python")
+		if py == nil || py.Version.String() != sc.python {
+			t.Errorf("%s: python = %v, want %s", sc.name, py, sc.python)
+		}
+	}
+}
+
+func TestConflictRejected(t *testing.T) {
+	// Table 2's N/A: the Intel-optimised HPCG cannot be built with gcc.
+	s := spec.MustParse("hpcg variant=intel-avx2 %gcc")
+	if _, err := Concretize(s, defaultOpts()); err == nil {
+		t.Error("conflict not enforced")
+	} else if !strings.Contains(err.Error(), "oneapi") {
+		t.Errorf("conflict reason missing: %v", err)
+	}
+	// With oneapi it concretizes and pulls in MKL.
+	res := mustConcretize(t, "hpcg variant=intel-avx2 %oneapi", defaultOpts())
+	if res.Spec.Lookup("intel-oneapi-mkl") == nil {
+		t.Error("intel-avx2 must depend on MKL")
+	}
+}
+
+func TestTargetArchConflict(t *testing.T) {
+	// §3.1: TBB unavailable on ThunderX2 (aarch64).
+	opts := defaultOpts()
+	opts.TargetArch = "aarch64"
+	s := spec.MustParse("babelstream model=tbb")
+	if _, err := Concretize(s, opts); err == nil {
+		t.Error("intel-tbb on aarch64 must fail")
+	}
+	opts.TargetArch = "x86_64"
+	if _, err := Concretize(s.Copy(), opts); err != nil {
+		t.Errorf("intel-tbb on x86_64 should work: %v", err)
+	}
+}
+
+func TestUnknownVariantRejected(t *testing.T) {
+	for _, bad := range []string{
+		"stream +nonexistent",
+		"stream openmp=yes",         // bool variant given string value
+		"babelstream model=fortran", // not in allowed values
+	} {
+		s := spec.MustParse(bad)
+		if _, err := Concretize(s, defaultOpts()); err == nil {
+			t.Errorf("Concretize(%q): expected error", bad)
+		}
+	}
+}
+
+func TestUnknownPackage(t *testing.T) {
+	s := spec.MustParse("not-a-package")
+	if _, err := Concretize(s, defaultOpts()); err == nil {
+		t.Error("unknown package accepted")
+	}
+}
+
+func TestUnknownCompiler(t *testing.T) {
+	s := spec.MustParse("stream%xlc")
+	if _, err := Concretize(s, defaultOpts()); err == nil {
+		t.Error("unavailable compiler accepted")
+	}
+	s2 := spec.MustParse("stream%gcc@13:")
+	if _, err := Concretize(s2, defaultOpts()); err == nil {
+		t.Error("unsatisfiable compiler range accepted")
+	}
+}
+
+func TestVersionConstraintRespected(t *testing.T) {
+	res := mustConcretize(t, "gcc@10:11", defaultOpts())
+	if got := res.Spec.Version.String(); got != "11.2.0" {
+		t.Errorf("gcc@10:11 -> %s, want 11.2.0", got)
+	}
+	s := spec.MustParse("gcc@99:")
+	if _, err := Concretize(s, defaultOpts()); err == nil {
+		t.Error("unsatisfiable version accepted")
+	}
+}
+
+func TestCompilerSelectionPicksHighestMatching(t *testing.T) {
+	res := mustConcretize(t, "stream%gcc", defaultOpts())
+	if got := res.Spec.Compiler.Version.String(); got != "12.1.0" {
+		t.Errorf("gcc pick = %s, want highest 12.1.0", got)
+	}
+	res = mustConcretize(t, "stream%gcc@9", defaultOpts())
+	if got := res.Spec.Compiler.Version.String(); got != "9.2.0" {
+		t.Errorf("gcc@9 pick = %s, want 9.2.0", got)
+	}
+}
+
+func TestDiamondDependencyUnified(t *testing.T) {
+	// babelstream model=kokkos: cmake appears as a dep of both root and
+	// kokkos; it must be the same node.
+	res := mustConcretize(t, "babelstream model=kokkos", defaultOpts())
+	rootCmake := res.Spec.Deps["cmake"]
+	kokkosCmake := res.Spec.Deps["kokkos"].Deps["cmake"]
+	if rootCmake == nil || kokkosCmake == nil {
+		t.Fatalf("cmake missing somewhere: %s", res.Spec)
+	}
+	if rootCmake != kokkosCmake {
+		t.Error("diamond dependency not unified to one node")
+	}
+}
+
+func TestTraceIsHumanReadable(t *testing.T) {
+	res := mustConcretize(t, "hpgmg", defaultOpts())
+	joined := strings.Join(res.Steps, "\n")
+	for _, want := range []string{"hpgmg: version", "compiler", "virtual provided by"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestNilInputs(t *testing.T) {
+	if _, err := Concretize(nil, defaultOpts()); err == nil {
+		t.Error("nil spec accepted")
+	}
+	if _, err := Concretize(spec.MustParse("stream"), Options{}); err == nil {
+		t.Error("nil repo accepted")
+	}
+}
+
+func mustExternalSpec(text string) *spec.Spec {
+	s := spec.MustParse(text)
+	s.Concrete = true
+	return s
+}
+
+func TestConcretizeSatisfiesInputProperty(t *testing.T) {
+	// Property: for randomly composed valid abstract specs, the concrete
+	// result always satisfies the constraints it was asked for.
+	opts := defaultOpts()
+	gen := func(r *rand.Rand) *spec.Spec {
+		pkgs := []string{"stream", "hpgmg", "babelstream", "cmake", "zlib"}
+		s := spec.New(pkgs[r.Intn(len(pkgs))])
+		if r.Intn(2) == 0 {
+			s.Compiler = spec.Compiler{Name: "gcc"}
+		}
+		if s.Name == "babelstream" && r.Intn(2) == 0 {
+			models := []string{"omp", "tbb", "std-data", "kokkos"}
+			s.SetVariant("model", spec.StrVariant(models[r.Intn(len(models))]))
+		}
+		if s.Name == "stream" && r.Intn(2) == 0 {
+			s.SetVariant("openmp", spec.BoolVariant(r.Intn(2) == 0))
+		}
+		return s
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		abstract := gen(r)
+		res, err := Concretize(abstract.Copy(), opts)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if !res.Spec.Satisfies(abstract) {
+			t.Logf("seed %d: %s does not satisfy %s", seed, res.Spec, abstract)
+			return false
+		}
+		return res.Spec.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcretizeIdempotentOnResult(t *testing.T) {
+	// Concretizing the same abstract spec twice gives identical DAGs, and
+	// the concrete output's string form re-parses to a spec the result
+	// satisfies.
+	res := mustConcretize(t, "babelstream model=kokkos", defaultOpts())
+	reparsed, err := spec.Parse(res.Spec.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Spec.Satisfies(reparsed) {
+		t.Error("concrete spec does not satisfy its own rendering")
+	}
+}

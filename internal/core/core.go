@@ -1,0 +1,132 @@
+// Package core is the framework's heart: the benchmark abstraction and
+// the pipeline that runs it reproducibly on any configured system.
+//
+// It plays ReFrame's role in the paper (§2.3): a Benchmark describes
+// *what* to build and run (build spec, execution layout, sanity and
+// performance patterns) while the system configuration describes *where*
+// (scheduler, launcher, partitions, compilers, externals). The Runner
+// executes the regression-test pipeline:
+//
+//	resolve system → concretize spec (Principle 4) → build (Principles
+//	2–3) → generate job script → schedule → launch → sanity-check →
+//	extract FOMs (Principle 6) → append perflog
+//
+// so that every run is reproducible end to end by construction.
+package core
+
+import (
+	"time"
+
+	"repro/internal/buildsys"
+	"repro/internal/env"
+	"repro/internal/fom"
+	"repro/internal/launcher"
+	"repro/internal/perflog"
+	"repro/internal/platform"
+	"repro/internal/repo"
+	"repro/internal/scheduler"
+	"repro/internal/spec"
+)
+
+// RunContext is everything a benchmark's payload can see when it
+// executes: the platform it landed on, its concrete build, and the
+// parallel layout the scheduler granted.
+type RunContext struct {
+	System       *platform.System
+	Partition    *platform.Partition
+	Spec         *spec.Spec // concrete build spec
+	Layout       launcher.Layout
+	Nodes        []string
+	SystemFactor float64
+	// Local is true when running on the real host rather than the
+	// simulated estate.
+	Local bool
+}
+
+// Benchmark defines one test, mirroring a ReFrame benchmark class.
+type Benchmark interface {
+	// Name identifies the benchmark in perflogs.
+	Name() string
+	// BuildSpec is the default package spec to build (may be overridden
+	// per run, like ReFrame's -S spack_spec=...).
+	BuildSpec() string
+	// DefaultLayout is the parallel layout used unless overridden
+	// (ReFrame's num_tasks / num_tasks_per_node / num_cpus_per_task).
+	DefaultLayout() launcher.Layout
+	// Args are the executable's command-line arguments (recorded in the
+	// job script).
+	Args() []string
+	// Execute runs the payload and returns its stdout and how long it
+	// took (simulated or measured).
+	Execute(ctx *RunContext) (stdout string, elapsed time.Duration, err error)
+	// Sanity patterns decide whether the run was valid.
+	Sanity() fom.Sanity
+	// PerfPatterns extract the Figures of Merit from stdout.
+	PerfPatterns() []fom.Pattern
+}
+
+// Options modify one Runner.Run invocation, mirroring the ReFrame
+// command line used throughout the paper's artifact appendix.
+type Options struct {
+	// System targets "system" or "system:partition" (--system).
+	System string
+	// Spec overrides the benchmark's build spec (-S spack_spec=...).
+	Spec string
+	// Layout overrides fields of the default layout when nonzero
+	// (--setvar num_tasks=... etc.).
+	NumTasks     int
+	TasksPerNode int
+	CPUsPerTask  int
+	// Account overrides the system config's account (-J'--account=').
+	Account string
+}
+
+// Report is the full record of one pipeline run.
+type Report struct {
+	Benchmark string
+	System    string
+	Partition string
+	Spec      *spec.Spec
+	SpecTrace []string // concretizer provenance (Principle 4)
+	Builds    []*buildsys.Record
+	JobScript string
+	Job       *scheduler.Info
+	FOMs      map[string]fom.Value
+	Entry     *perflog.Entry
+	EnvBefore env.Capture
+}
+
+// Pass reports whether the run completed and passed sanity.
+func (r *Report) Pass() bool { return r.Entry != nil && r.Entry.Pass() }
+
+// Runner executes benchmarks through the full pipeline.
+type Runner struct {
+	Estate *platform.Estate
+	Envs   *env.Registry
+	Repo   *repo.Repository
+	// InstallTree is the build-cache directory.
+	InstallTree string
+	// PerflogRoot receives perflog entries; empty disables logging.
+	PerflogRoot string
+	// RebuildEveryRun enforces Principle 3 (default in New).
+	RebuildEveryRun bool
+	// Backfill enables EASY backfilling on the simulated batch
+	// schedulers (no effect on the local scheduler).
+	Backfill bool
+	// Now supplies timestamps (defaults to time.Now; fixed in tests).
+	Now func() time.Time
+}
+
+// New assembles a Runner over the builtin estate, environments, and
+// recipes, with Principle 3 (rebuild every run) on by default.
+func New(installTree, perflogRoot string) *Runner {
+	return &Runner{
+		Estate:          platform.UKEstate(),
+		Envs:            env.UKRegistry(),
+		Repo:            repo.Builtin(),
+		InstallTree:     installTree,
+		PerflogRoot:     perflogRoot,
+		RebuildEveryRun: true,
+		Now:             time.Now,
+	}
+}

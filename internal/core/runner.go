@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/buildsys"
+	"repro/internal/concretize"
+	"repro/internal/env"
+	"repro/internal/fom"
+	"repro/internal/launcher"
+	"repro/internal/machine"
+	"repro/internal/perflog"
+	"repro/internal/platform"
+	"repro/internal/scheduler"
+	"repro/internal/spec"
+)
+
+// Run executes the full pipeline for one benchmark on one system.
+func (r *Runner) Run(b Benchmark, opts Options) (*Report, error) {
+	if b == nil {
+		return nil, fmt.Errorf("core: nil benchmark")
+	}
+	if opts.System == "" {
+		return nil, fmt.Errorf("core: no target system (use Options.System, e.g. \"archer2\" or \"isambard-macs:cascadelake\")")
+	}
+	now := r.Now
+	if now == nil {
+		now = time.Now
+	}
+	report := &Report{Benchmark: b.Name(), EnvBefore: env.CaptureEnvironment()}
+
+	// 1. Resolve the platform.
+	sys, part, err := r.Estate.Resolve(opts.System)
+	if err != nil {
+		return nil, err
+	}
+	report.System = sys.Name
+	report.Partition = part.Name
+
+	// 2. Concretize the build spec against the system environment
+	// (Principle 4: the build is fully determined by spec + system
+	// config, both of which are recorded).
+	specText := b.BuildSpec()
+	if opts.Spec != "" {
+		specText = opts.Spec
+	}
+	abstract, err := spec.Parse(specText)
+	if err != nil {
+		return nil, err
+	}
+	cfg := r.Envs.ForSystem(sys.Name)
+	conc, err := concretize.Concretize(abstract, cfg.ConcretizeOptions(r.Repo, string(part.Processor.Arch)))
+	if err != nil {
+		return nil, err
+	}
+	report.Spec = conc.Spec
+	report.SpecTrace = conc.Steps
+
+	// 3. Build (Principles 2-3).
+	builder := buildsys.NewBuilder(r.InstallTree, r.Repo)
+	builder.RebuildEveryRun = r.RebuildEveryRun
+	records, err := builder.Install(conc.Spec)
+	if err != nil {
+		return nil, err
+	}
+	report.Builds = records
+	exePath := records[len(records)-1].Prefix + "/bin/" + conc.Spec.Name
+
+	// 4. Assemble the job.
+	layout := b.DefaultLayout()
+	if opts.NumTasks > 0 {
+		layout.NumTasks = opts.NumTasks
+	}
+	if opts.TasksPerNode > 0 {
+		layout.TasksPerNode = opts.TasksPerNode
+	}
+	if opts.CPUsPerTask > 0 {
+		layout.CPUsPerTask = opts.CPUsPerTask
+	}
+	if layout.CPUsPerTask <= 0 {
+		layout.CPUsPerTask = 1
+	}
+	if layout.NumTasks <= 0 {
+		// ReFrame-style: benchmarks may ask for "the whole node" without
+		// hardcoding a core count, which would make them unportable
+		// (paper §2.3). Resolve against the partition's processor.
+		layout.NumTasks = part.Processor.TotalCores() / layout.CPUsPerTask
+		if layout.NumTasks < 1 {
+			layout.NumTasks = 1
+		}
+		if layout.TasksPerNode <= 0 {
+			layout.TasksPerNode = layout.NumTasks
+		}
+	}
+	launch, err := launcher.For(part.Launcher)
+	if err != nil {
+		return nil, err
+	}
+	account := cfg.Account
+	if opts.Account != "" {
+		account = opts.Account
+	}
+	job := &scheduler.Job{
+		Name:         b.Name(),
+		Account:      account,
+		QOS:          cfg.QOS,
+		NumTasks:     layout.NumTasks,
+		TasksPerNode: layout.TasksPerNode,
+		CPUsPerTask:  layout.CPUsPerTask,
+		Env:          cfg.EnvVars,
+		Commands:     []string{launch.Command(layout, exePath, b.Args())},
+	}
+
+	// 5. Schedule and execute.
+	sched, err := r.schedulerFor(sys, part, b, conc.Spec, layout)
+	if err != nil {
+		return nil, err
+	}
+	report.JobScript = sched.Script(job)
+	id, err := sched.Submit(job)
+	if err != nil {
+		return nil, err
+	}
+	info, err := sched.Wait(id)
+	if err != nil {
+		return nil, err
+	}
+	report.Job = info
+
+	// 6. Sanity and FOM extraction (Principle 6), then the perflog.
+	entry := &perflog.Entry{
+		Time:      now(),
+		Benchmark: b.Name(),
+		System:    sys.Name,
+		Partition: part.Name,
+		Environ:   conc.Spec.Compiler.Name,
+		Spec:      conc.Spec.RootString(),
+		JobID:     info.ID,
+		Result:    "fail",
+		FOMs:      map[string]fom.Value{},
+		Extra: map[string]string{
+			"num_tasks":          fmt.Sprint(layout.NumTasks),
+			"num_tasks_per_node": fmt.Sprint(layout.TasksPerNode),
+			"num_cpus_per_task":  fmt.Sprint(layout.CPUsPerTask),
+			"job_runtime_s":      fmt.Sprintf("%.6f", info.Runtime()),
+			// System-state capture the paper lists as planned work:
+			// an energy estimate for the allocation over the run.
+			"est_energy_j": fmt.Sprintf("%.1f",
+				part.Processor.EnergyEstimateJ(info.Runtime())*float64(len(info.Nodes))),
+		},
+	}
+	report.Entry = entry
+	if info.State == scheduler.Completed {
+		if err := b.Sanity().Check(info.Stdout); err == nil {
+			foms, ferr := fom.Extract(info.Stdout, b.PerfPatterns())
+			if ferr == nil {
+				entry.FOMs = foms
+				entry.Result = "pass"
+			} else {
+				entry.Extra["error"] = ferr.Error()
+			}
+		} else {
+			entry.Extra["error"] = err.Error()
+		}
+	} else {
+		entry.Extra["error"] = fmt.Sprintf("job state %s: %s", info.State, info.Stderr)
+	}
+	report.FOMs = entry.FOMs
+
+	if r.PerflogRoot != "" {
+		if err := perflog.Append(r.PerflogRoot, sys.Name, b.Name(), entry); err != nil {
+			return report, err
+		}
+	}
+	return report, nil
+}
+
+// schedulerFor builds the scheduler for a partition, wiring the
+// benchmark's Execute as the job payload.
+func (r *Runner) schedulerFor(sys *platform.System, part *platform.Partition, b Benchmark, concrete *spec.Spec, layout launcher.Layout) (scheduler.Scheduler, error) {
+	exec := func(job *scheduler.Job, nodes []string) scheduler.Result {
+		// The per-system software factor captures MPI-stack and
+		// toolchain quirks that bite multi-node runs (paper §3.3);
+		// single-node jobs see the architecture's own efficiency.
+		factor := 1.0
+		if len(nodes) > 1 {
+			factor = machine.SystemFactor(sys.Name)
+		}
+		ctx := &RunContext{
+			System:       sys,
+			Partition:    part,
+			Spec:         concrete,
+			Layout:       layout,
+			Nodes:        nodes,
+			SystemFactor: factor,
+			Local:        part.Scheduler == "local",
+		}
+		stdout, elapsed, err := b.Execute(ctx)
+		if err != nil {
+			return scheduler.Result{Stderr: err.Error(), ExitCode: 1, Duration: elapsed}
+		}
+		return scheduler.Result{Stdout: stdout, Duration: elapsed}
+	}
+	switch part.Scheduler {
+	case "local":
+		return scheduler.NewLocal(exec)
+	case "slurm", "pbs":
+		sim, err := scheduler.NewSim(part.Scheduler, part.Nodes, part.Processor.TotalCores(), exec)
+		if err != nil {
+			return nil, err
+		}
+		sim.Backfill = r.Backfill
+		return sim, nil
+	default:
+		return nil, fmt.Errorf("core: partition %s uses unknown scheduler %q", part.Name, part.Scheduler)
+	}
+}
+
+// RunMany runs the benchmark across several systems, returning one report
+// per target — the cross-system survey loop the framework makes cheap
+// (the paper's §3.3 "single workflow" point).
+func (r *Runner) RunMany(b Benchmark, targets []string, base Options) ([]*Report, error) {
+	var out []*Report
+	for _, target := range targets {
+		opts := base
+		opts.System = target
+		rep, err := r.Run(b, opts)
+		if err != nil {
+			return out, fmt.Errorf("core: %s on %s: %w", b.Name(), target, err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

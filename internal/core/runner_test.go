@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fom"
+	"repro/internal/launcher"
+	"repro/internal/perflog"
+)
+
+// echoBenchmark is a minimal benchmark whose payload emits a fixed FOM.
+type echoBenchmark struct {
+	name    string
+	spec    string
+	output  string
+	execErr error
+	elapsed time.Duration
+}
+
+func (e *echoBenchmark) Name() string { return e.name }
+func (e *echoBenchmark) BuildSpec() string {
+	if e.spec != "" {
+		return e.spec
+	}
+	return "stream"
+}
+func (e *echoBenchmark) DefaultLayout() launcher.Layout {
+	return launcher.Layout{NumTasks: 1, TasksPerNode: 1, CPUsPerTask: 1}
+}
+func (e *echoBenchmark) Args() []string { return []string{"--size", "large"} }
+func (e *echoBenchmark) Execute(ctx *RunContext) (string, time.Duration, error) {
+	if e.execErr != nil {
+		return "", 0, e.execErr
+	}
+	out := e.output
+	if out == "" {
+		out = "RESULT OK\nrate: 42.5 GB/s\n"
+	}
+	d := e.elapsed
+	if d == 0 {
+		d = 3 * time.Second
+	}
+	return out, d, nil
+}
+func (e *echoBenchmark) Sanity() fom.Sanity {
+	return fom.Sanity{Require: []*regexp.Regexp{regexp.MustCompile("RESULT OK")}}
+}
+func (e *echoBenchmark) PerfPatterns() []fom.Pattern {
+	return []fom.Pattern{fom.MustPattern("rate", "GB/s", `rate: ([0-9.]+) GB/s`)}
+}
+
+func testRunner(t *testing.T) *Runner {
+	t.Helper()
+	dir := t.TempDir()
+	r := New(filepath.Join(dir, "install"), filepath.Join(dir, "perflogs"))
+	r.Now = func() time.Time { return time.Date(2023, 7, 7, 12, 0, 0, 0, time.UTC) }
+	return r
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	r := testRunner(t)
+	b := &echoBenchmark{name: "echo"}
+	rep, err := r.Run(b, Options{System: "archer2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass() {
+		t.Fatalf("run failed: %+v", rep.Entry)
+	}
+	// The spec concretized against ARCHER2's environment.
+	if rep.Spec == nil || !rep.Spec.Concrete {
+		t.Fatal("no concrete spec")
+	}
+	if got := rep.Spec.Compiler.String(); got != "gcc@11.2.0" {
+		t.Errorf("compiler = %s, want archer2 default gcc@11.2.0", got)
+	}
+	if len(rep.SpecTrace) == 0 {
+		t.Error("concretizer trace missing (Principle 4)")
+	}
+	// The build happened and is recorded.
+	if len(rep.Builds) == 0 || rep.Builds[len(rep.Builds)-1].Cached {
+		t.Error("root build missing or unexpectedly cached")
+	}
+	// The job script is a SLURM script with the account and QOS from
+	// the system config.
+	for _, want := range []string{"#SBATCH", "--account=z19", "--qos=standard", "srun"} {
+		if !strings.Contains(rep.JobScript, want) {
+			t.Errorf("job script missing %q:\n%s", want, rep.JobScript)
+		}
+	}
+	// The FOM was extracted.
+	if v, ok := rep.FOMs["rate"]; !ok || v.Value != 42.5 {
+		t.Errorf("FOMs = %v", rep.FOMs)
+	}
+	// The perflog has the entry.
+	entries, err := perflog.Read(filepath.Join(r.PerflogRoot, "archer2", "echo.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || !entries[0].Pass() {
+		t.Fatalf("perflog entries: %+v", entries)
+	}
+	if entries[0].FOMs["rate"].Value != 42.5 {
+		t.Errorf("logged FOM = %+v", entries[0].FOMs["rate"])
+	}
+}
+
+func TestPipelinePBSSystem(t *testing.T) {
+	r := testRunner(t)
+	rep, err := r.Run(&echoBenchmark{name: "echo"}, Options{System: "isambard-macs:cascadelake"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.JobScript, "#PBS") {
+		t.Errorf("expected PBS script:\n%s", rep.JobScript)
+	}
+	if !strings.Contains(rep.JobScript, "mpirun") {
+		t.Errorf("expected mpirun launcher:\n%s", rep.JobScript)
+	}
+	// Isambard MACS defaults to gcc 9.2.0 (Table 3).
+	if got := rep.Spec.Compiler.String(); got != "gcc@9.2.0" {
+		t.Errorf("compiler = %s", got)
+	}
+}
+
+func TestPipelineLocalSystem(t *testing.T) {
+	r := testRunner(t)
+	rep, err := r.Run(&echoBenchmark{name: "echo"}, Options{System: "local"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass() {
+		t.Fatalf("local run failed: %+v", rep.Entry)
+	}
+	if rep.Job.Nodes[0] != "localhost" {
+		t.Errorf("nodes = %v", rep.Job.Nodes)
+	}
+}
+
+func TestSpecOverride(t *testing.T) {
+	// The -S spack_spec= equivalent.
+	r := testRunner(t)
+	rep, err := r.Run(&echoBenchmark{name: "echo"}, Options{
+		System: "archer2",
+		Spec:   "stream%gcc@10.3.0 ~openmp",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Spec.Compiler.String(); got != "gcc@10.3.0" {
+		t.Errorf("override compiler = %s", got)
+	}
+	if v := rep.Spec.Variants["openmp"]; v.Bool {
+		t.Error("variant override lost")
+	}
+}
+
+func TestLayoutOverrides(t *testing.T) {
+	// The --setvar num_tasks= equivalents.
+	r := testRunner(t)
+	rep, err := r.Run(&echoBenchmark{name: "echo"}, Options{
+		System:       "archer2",
+		NumTasks:     8,
+		TasksPerNode: 2,
+		CPUsPerTask:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Entry.Extra["num_tasks"] != "8" || rep.Entry.Extra["num_cpus_per_task"] != "8" {
+		t.Errorf("extras = %v", rep.Entry.Extra)
+	}
+	if len(rep.Job.Nodes) != 4 {
+		t.Errorf("nodes = %d, want 4", len(rep.Job.Nodes))
+	}
+	if !strings.Contains(rep.JobScript, "--ntasks=8") {
+		t.Errorf("script:\n%s", rep.JobScript)
+	}
+}
+
+func TestSanityFailureRecordsFail(t *testing.T) {
+	r := testRunner(t)
+	b := &echoBenchmark{name: "bad", output: "garbage with no markers"}
+	rep, err := r.Run(b, Options{System: "archer2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass() {
+		t.Error("sanity failure must fail the run")
+	}
+	if rep.Entry.Extra["error"] == "" {
+		t.Error("failure reason missing from perflog entry")
+	}
+}
+
+func TestExecutionErrorRecordsFail(t *testing.T) {
+	r := testRunner(t)
+	b := &echoBenchmark{name: "crash", execErr: errBoom{}}
+	rep, err := r.Run(b, Options{System: "archer2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass() {
+		t.Error("crashed payload must fail")
+	}
+	if !strings.Contains(rep.Entry.Extra["error"], "FAILED") {
+		t.Errorf("error = %q", rep.Entry.Extra["error"])
+	}
+}
+
+type errBoom struct{}
+
+func (errBoom) Error() string { return "boom" }
+
+func TestUnknownSystemErrors(t *testing.T) {
+	r := testRunner(t)
+	if _, err := r.Run(&echoBenchmark{name: "echo"}, Options{System: "summit"}); err == nil {
+		t.Error("unknown system accepted")
+	}
+	if _, err := r.Run(&echoBenchmark{name: "echo"}, Options{}); err == nil {
+		t.Error("missing system accepted")
+	}
+	if _, err := r.Run(nil, Options{System: "archer2"}); err == nil {
+		t.Error("nil benchmark accepted")
+	}
+}
+
+func TestBadSpecErrors(t *testing.T) {
+	r := testRunner(t)
+	if _, err := r.Run(&echoBenchmark{name: "echo", spec: "@bad"}, Options{System: "archer2"}); err == nil {
+		t.Error("unparseable spec accepted")
+	}
+	if _, err := r.Run(&echoBenchmark{name: "echo", spec: "no-such-package"}, Options{System: "archer2"}); err == nil {
+		t.Error("unknown package accepted")
+	}
+}
+
+func TestRebuildEveryRunDefault(t *testing.T) {
+	// Principle 3: two consecutive runs both rebuild the root.
+	r := testRunner(t)
+	b := &echoBenchmark{name: "echo"}
+	rep1, err := r.Run(b, Options{System: "archer2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := r.Run(b, Options{System: "archer2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root1 := rep1.Builds[len(rep1.Builds)-1]
+	root2 := rep2.Builds[len(rep2.Builds)-1]
+	if root1.Cached || root2.Cached {
+		t.Error("RebuildEveryRun must rebuild the benchmark each run")
+	}
+	// With the principle disabled, the second run reuses the cache.
+	r.RebuildEveryRun = false
+	rep3, err := r.Run(b, Options{System: "archer2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep3.Builds[len(rep3.Builds)-1].Cached {
+		t.Error("cache should be hit with RebuildEveryRun off")
+	}
+}
+
+func TestRunManyAcrossSystems(t *testing.T) {
+	r := testRunner(t)
+	b := &echoBenchmark{name: "echo"}
+	reports, err := r.RunMany(b, []string{"archer2", "cosma8", "csd3"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	seen := map[string]bool{}
+	for _, rep := range reports {
+		if !rep.Pass() {
+			t.Errorf("%s failed", rep.System)
+		}
+		seen[rep.System] = true
+	}
+	if !seen["archer2"] || !seen["cosma8"] || !seen["csd3"] {
+		t.Errorf("systems = %v", seen)
+	}
+	// All three perflogs exist for cross-system assimilation.
+	entries, err := perflog.ReadTree(r.PerflogRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Errorf("assimilated %d entries", len(entries))
+	}
+}
+
+func TestEnergyEstimateRecorded(t *testing.T) {
+	// The paper's planned "energy consumption" capture: every perflog
+	// entry carries an energy estimate for its allocation.
+	r := testRunner(t)
+	rep, err := r.Run(&echoBenchmark{name: "echo", elapsed: 10 * time.Second}, Options{System: "archer2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	energy := rep.Entry.Extra["est_energy_j"]
+	if energy == "" {
+		t.Fatal("est_energy_j missing from perflog entry")
+	}
+	var joules float64
+	if _, err := fmt.Sscanf(energy, "%g", &joules); err != nil {
+		t.Fatal(err)
+	}
+	// 10 s on one 450 W Rome node.
+	if joules < 4000 || joules > 5000 {
+		t.Errorf("energy = %g J, want ~4500", joules)
+	}
+}

@@ -1,0 +1,395 @@
+package dataframe
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleFrame(t *testing.T) *Frame {
+	t.Helper()
+	f := New()
+	if err := f.AddStringColumn("system", []string{"archer2", "cosma8", "csd3", "isambard", "archer2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddStringColumn("level", []string{"l0", "l0", "l0", "l0", "l1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddFloatColumn("dofs", []float64{95.36, 81.67, 126.10, 30.59, 83.43}); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestBuilders(t *testing.T) {
+	f := sampleFrame(t)
+	if f.NumRows() != 5 || f.NumCols() != 3 {
+		t.Fatalf("shape = %dx%d", f.NumRows(), f.NumCols())
+	}
+	if got := f.Columns(); got[0] != "system" || got[2] != "dofs" {
+		t.Errorf("columns = %v", got)
+	}
+	if !f.Has("dofs") || f.Has("nope") {
+		t.Error("Has wrong")
+	}
+	v, err := f.Float("dofs", 2)
+	if err != nil || v != 126.10 {
+		t.Errorf("Float = %v, %v", v, err)
+	}
+	s, err := f.Str("system", 3)
+	if err != nil || s != "isambard" {
+		t.Errorf("Str = %v, %v", s, err)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	f := New()
+	if err := f.AddFloatColumn("", nil); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := f.AddFloatColumn("a", []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddFloatColumn("a", []float64{3, 4}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if err := f.AddStringColumn("b", []string{"x"}); err == nil {
+		t.Error("ragged column accepted")
+	}
+	if _, err := f.Col("missing"); err == nil {
+		t.Error("missing column lookup accepted")
+	}
+	if _, err := f.Float("a", 99); err == nil {
+		t.Error("row out of range accepted")
+	}
+	if _, err := f.Str("a", -1); err == nil {
+		t.Error("negative row accepted")
+	}
+}
+
+func TestFloatOnStringColumn(t *testing.T) {
+	f := sampleFrame(t)
+	if _, err := f.Float("system", 0); err == nil {
+		t.Error("Float on string column accepted")
+	}
+	c := f.MustCol("system")
+	if !math.IsNaN(c.Float(0)) {
+		t.Error("Column.Float on string column should be NaN")
+	}
+}
+
+func TestFilterEq(t *testing.T) {
+	f := sampleFrame(t)
+	got, err := f.FilterEq("system", "archer2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 2 {
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+	v, _ := got.Float("dofs", 1)
+	if v != 83.43 {
+		t.Errorf("second archer2 row dofs = %g", v)
+	}
+}
+
+func TestFilterNum(t *testing.T) {
+	f := sampleFrame(t)
+	cases := []struct {
+		op   CmpOp
+		v    float64
+		want int
+	}{
+		{Gt, 90, 2},
+		{Ge, 95.36, 2},
+		{Lt, 82, 2},
+		{Le, 30.59, 1},
+		{Eq, 126.10, 1},
+		{Ne, 126.10, 4},
+	}
+	for _, c := range cases {
+		got, err := f.FilterNum("dofs", c.op, c.v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumRows() != c.want {
+			t.Errorf("FilterNum(%s %g) = %d rows, want %d", c.op, c.v, got.NumRows(), c.want)
+		}
+	}
+	if _, err := f.FilterNum("system", Gt, 1); err == nil {
+		t.Error("FilterNum on string column accepted")
+	}
+	if _, err := f.FilterNum("dofs", CmpOp("~"), 1); err == nil {
+		t.Error("unknown operator accepted")
+	}
+}
+
+func TestFilterNumSkipsNaN(t *testing.T) {
+	f := New()
+	_ = f.AddFloatColumn("x", []float64{1, math.NaN(), 3})
+	got, err := f.FilterNum("x", Gt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 2 {
+		t.Errorf("NaN matched: %d rows", got.NumRows())
+	}
+	// Ne must not match NaN either.
+	got, _ = f.FilterNum("x", Ne, 99)
+	if got.NumRows() != 2 {
+		t.Errorf("NaN matched Ne: %d rows", got.NumRows())
+	}
+}
+
+func TestSort(t *testing.T) {
+	f := sampleFrame(t)
+	asc, err := f.Sort("dofs", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _ := asc.Float("dofs", 0)
+	last, _ := asc.Float("dofs", asc.NumRows()-1)
+	if first != 30.59 || last != 126.10 {
+		t.Errorf("ascending sort wrong: %g..%g", first, last)
+	}
+	desc, _ := f.Sort("dofs", false)
+	first, _ = desc.Float("dofs", 0)
+	if first != 126.10 {
+		t.Errorf("descending sort wrong: %g", first)
+	}
+	byName, _ := f.Sort("system", true)
+	s, _ := byName.Str("system", 0)
+	if s != "archer2" {
+		t.Errorf("string sort wrong: %s", s)
+	}
+}
+
+func TestSortNaNLast(t *testing.T) {
+	f := New()
+	_ = f.AddFloatColumn("x", []float64{math.NaN(), 2, 1})
+	got, _ := f.Sort("x", true)
+	if v, _ := got.Float("x", 0); v != 1 {
+		t.Errorf("first = %g", v)
+	}
+	if v, _ := got.Float("x", 2); !math.IsNaN(v) {
+		t.Errorf("NaN not last: %g", v)
+	}
+}
+
+func TestHeadAndSelect(t *testing.T) {
+	f := sampleFrame(t)
+	h := f.Head(2)
+	if h.NumRows() != 2 {
+		t.Errorf("head rows = %d", h.NumRows())
+	}
+	if f.Head(100).NumRows() != 5 {
+		t.Error("head beyond length should clamp")
+	}
+	sel, err := f.Select("dofs", "system")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sel.Columns(); got[0] != "dofs" || got[1] != "system" || len(got) != 2 {
+		t.Errorf("select columns = %v", got)
+	}
+	if _, err := f.Select("nope"); err == nil {
+		t.Error("select of missing column accepted")
+	}
+}
+
+func TestConcatUnionColumns(t *testing.T) {
+	a := New()
+	_ = a.AddStringColumn("system", []string{"archer2"})
+	_ = a.AddFloatColumn("triad", []float64{300})
+	b := New()
+	_ = b.AddStringColumn("system", []string{"csd3"})
+	_ = b.AddFloatColumn("copy", []float64{250})
+	all, err := Concat(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.NumRows() != 2 || all.NumCols() != 3 {
+		t.Fatalf("shape = %dx%d", all.NumRows(), all.NumCols())
+	}
+	// Missing cells are NaN.
+	v, _ := all.Float("copy", 0)
+	if !math.IsNaN(v) {
+		t.Errorf("missing cell = %g, want NaN", v)
+	}
+	v, _ = all.Float("triad", 0)
+	if v != 300 {
+		t.Errorf("triad[0] = %g", v)
+	}
+	v, _ = all.Float("copy", 1)
+	if v != 250 {
+		t.Errorf("copy[1] = %g", v)
+	}
+}
+
+func TestConcatKindConflict(t *testing.T) {
+	a := New()
+	_ = a.AddFloatColumn("x", []float64{1})
+	b := New()
+	_ = b.AddStringColumn("x", []string{"one"})
+	if _, err := Concat(a, b); err == nil {
+		t.Error("kind conflict accepted")
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	f := sampleFrame(t)
+	g, err := f.GroupBy([]string{"system"}, "dofs", AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRows() != 4 {
+		t.Fatalf("groups = %d", g.NumRows())
+	}
+	// archer2 has rows 95.36 and 83.43 -> mean 89.395.
+	byName := map[string]float64{}
+	for r := 0; r < g.NumRows(); r++ {
+		s, _ := g.Str("system", r)
+		v, _ := g.Float("dofs", r)
+		byName[s] = v
+	}
+	if math.Abs(byName["archer2"]-89.395) > 1e-9 {
+		t.Errorf("archer2 mean = %g", byName["archer2"])
+	}
+	if byName["csd3"] != 126.10 {
+		t.Errorf("csd3 = %g", byName["csd3"])
+	}
+	if _, err := f.GroupBy([]string{"nope"}, "dofs", AggMean); err == nil {
+		t.Error("missing key accepted")
+	}
+	if _, err := f.GroupBy([]string{"system"}, "system", AggMean); err == nil {
+		t.Error("string value column accepted")
+	}
+}
+
+func TestAggregators(t *testing.T) {
+	xs := []float64{3, math.NaN(), 1, 2}
+	if v := AggMean(xs); v != 2 {
+		t.Errorf("mean = %g", v)
+	}
+	if v := AggMax(xs); v != 3 {
+		t.Errorf("max = %g", v)
+	}
+	if v := AggMin(xs); v != 1 {
+		t.Errorf("min = %g", v)
+	}
+	if v := AggCount(xs); v != 3 {
+		t.Errorf("count = %g", v)
+	}
+	if !math.IsNaN(AggMean([]float64{math.NaN()})) {
+		t.Error("mean of all-NaN should be NaN")
+	}
+}
+
+func TestPivot(t *testing.T) {
+	// The Figure 2 shape: model × platform -> efficiency.
+	f := New()
+	_ = f.AddStringColumn("model", []string{"omp", "omp", "cuda", "kokkos"})
+	_ = f.AddStringColumn("platform", []string{"cascadelake", "volta", "volta", "cascadelake"})
+	_ = f.AddFloatColumn("eff", []float64{0.80, 0.70, 0.93, 0.76})
+	pt, err := f.Pivot("model", "platform", "eff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pt.RowLabels) != 3 || len(pt.ColLabels) != 2 {
+		t.Fatalf("pivot shape %dx%d", len(pt.RowLabels), len(pt.ColLabels))
+	}
+	if v, ok := pt.Cell("omp", "volta"); !ok || v != 0.70 {
+		t.Errorf("omp/volta = %g, %v", v, ok)
+	}
+	if v, ok := pt.Cell("cuda", "cascadelake"); ok {
+		t.Errorf("cuda/cascadelake should be missing, got %g", v)
+	}
+	if _, ok := pt.Cell("nothere", "volta"); ok {
+		t.Error("unknown row found")
+	}
+	if _, err := f.Pivot("model", "platform", "model"); err == nil {
+		t.Error("string value column accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	f := sampleFrame(t)
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != f.NumRows() || got.NumCols() != f.NumCols() {
+		t.Fatalf("shape = %dx%d", got.NumRows(), got.NumCols())
+	}
+	if got.MustCol("dofs").Kind() != Float {
+		t.Error("numeric column not re-inferred as float")
+	}
+	if got.MustCol("system").Kind() != String {
+		t.Error("string column mis-inferred")
+	}
+	v, _ := got.Float("dofs", 2)
+	if v != 126.10 {
+		t.Errorf("dofs[2] = %g", v)
+	}
+}
+
+func TestCSVNaNRoundTrip(t *testing.T) {
+	f := New()
+	_ = f.AddFloatColumn("x", []float64{1, math.NaN(), 3})
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), ",") && buf.Len() == 0 {
+		t.Fatal("csv empty")
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := got.Float("x", 1)
+	if !math.IsNaN(v) {
+		t.Errorf("NaN cell = %g", v)
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty CSV accepted")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	f := sampleFrame(t)
+	s := f.String()
+	if !strings.Contains(s, "system") || !strings.Contains(s, "archer2") || !strings.Contains(s, "126.1") {
+		t.Errorf("render:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 6 { // header + 5 rows
+		t.Errorf("lines = %d", len(lines))
+	}
+}
+
+func TestSaveLoadCSV(t *testing.T) {
+	f := sampleFrame(t)
+	path := t.TempDir() + "/out.csv"
+	if err := f.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 5 {
+		t.Errorf("rows = %d", got.NumRows())
+	}
+	if _, err := LoadCSV(path + ".missing"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,129 @@
+package env
+
+import (
+	"repro/internal/concretize"
+	"repro/internal/spec"
+)
+
+// UKRegistry returns the builtin configurations for the systems of the
+// study. Compiler defaults and externals are chosen so that concretizing
+// hpgmg%gcc on each system reproduces Table 3 of the paper, and the
+// compiler stable on each system covers the toolchains used in §3.1
+// (GCC 9.2.0/10.3.0/12.1.0, oneAPI 2023.1.0).
+func UKRegistry() *Registry {
+	r := NewRegistry()
+
+	r.MustAdd(&SystemConfig{
+		System: "archer2",
+		Compilers: []spec.Compiler{
+			comp("gcc", "11.2.0"),
+			comp("gcc", "10.3.0"),
+			comp("cce", "15.0.0"),
+		},
+		Externals: []concretize.External{
+			external("cray-mpich@8.1.23", "/opt/cray/pe/mpich/8.1.23"),
+			external("python@3.10.12", "/usr"),
+		},
+		Providers: map[string]string{"mpi": "cray-mpich"},
+		Account:   "z19",
+		QOS:       "standard",
+		EnvVars:   map[string]string{"OMP_PLACES": "cores"},
+	})
+
+	r.MustAdd(&SystemConfig{
+		System: "cosma8",
+		Compilers: []spec.Compiler{
+			comp("gcc", "11.1.0"),
+			comp("oneapi", "2023.1.0"),
+		},
+		Externals: []concretize.External{
+			external("mvapich2@2.3.6", "/cosma/local/mvapich2/2.3.6"),
+			external("python@2.7.15", "/usr"),
+		},
+		Providers: map[string]string{"mpi": "mvapich2"},
+		Account:   "do009",
+		EnvVars:   map[string]string{"OMP_PLACES": "cores"},
+	})
+
+	r.MustAdd(&SystemConfig{
+		System: "csd3",
+		Compilers: []spec.Compiler{
+			comp("gcc", "11.2.0"),
+			comp("oneapi", "2023.1.0"),
+		},
+		Externals: []concretize.External{
+			external("openmpi@4.0.4", "/usr/local/software/openmpi/4.0.4"),
+			external("python@3.8.2", "/usr/local/software/python/3.8.2"),
+		},
+		Providers: map[string]string{"mpi": "openmpi"},
+		Account:   "support-cpu",
+		QOS:       "cclake",
+	})
+
+	r.MustAdd(&SystemConfig{
+		System: "isambard-macs",
+		Compilers: []spec.Compiler{
+			comp("gcc", "9.2.0"),
+			comp("gcc", "10.3.0"),
+			comp("gcc", "12.1.0"),
+			comp("oneapi", "2023.1.0"),
+		},
+		Externals: []concretize.External{
+			external("openmpi@4.0.3", "/software/openmpi/4.0.3"),
+			external("python@3.7.5", "/usr"),
+			external("cuda@11.4.2", "/software/cuda/11.4.2"),
+		},
+		Providers: map[string]string{"mpi": "openmpi", "opencl": "cuda"},
+		Account:   "br-train",
+	})
+
+	r.MustAdd(&SystemConfig{
+		System: "isambard-xci",
+		Compilers: []spec.Compiler{
+			comp("gcc", "10.3.0"),
+			comp("gcc", "9.2.0"),
+			comp("cce", "15.0.0"),
+		},
+		Externals: []concretize.External{
+			external("cray-mpich@8.1.23", "/opt/cray/pe/mpich/8.1.23"),
+			external("python@3.8.2", "/usr"),
+		},
+		Providers: map[string]string{"mpi": "cray-mpich"},
+		Account:   "br-train",
+	})
+
+	r.MustAdd(&SystemConfig{
+		System: "noctua2",
+		Compilers: []spec.Compiler{
+			comp("gcc", "12.1.0"),
+			comp("gcc", "10.3.0"),
+			comp("oneapi", "2023.1.0"),
+		},
+		Externals: []concretize.External{
+			external("openmpi@4.1.4", "/opt/software/openmpi/4.1.4"),
+			external("python@3.10.12", "/usr"),
+		},
+		Providers: map[string]string{"mpi": "openmpi"},
+		Account:   "hpc-prf",
+	})
+
+	r.MustAdd(&SystemConfig{
+		System: "local",
+		Compilers: []spec.Compiler{
+			comp("gcc", "12.1.0"),
+		},
+		EnvVars: map[string]string{},
+	})
+
+	return r
+}
+
+func comp(name, version string) spec.Compiler {
+	return spec.Compiler{Name: name, Version: spec.ExactVersion(spec.Version(version))}
+}
+
+func external(specText, path string) concretize.External {
+	s := spec.MustParse(specText)
+	s.Concrete = true
+	return concretize.External{Spec: s, Path: path}
+}

@@ -1,0 +1,236 @@
+package env
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/concretize"
+	"repro/internal/repo"
+	"repro/internal/spec"
+)
+
+func TestUKRegistryCoversEstate(t *testing.T) {
+	r := UKRegistry()
+	for _, name := range []string{"archer2", "cosma8", "csd3", "isambard-macs", "isambard-xci", "noctua2", "local"} {
+		if !r.Known(name) {
+			t.Errorf("missing config for %s", name)
+		}
+	}
+}
+
+func TestDefaultCompilersMatchTable3(t *testing.T) {
+	r := UKRegistry()
+	want := map[string]string{
+		"archer2":       "11.2.0",
+		"cosma8":        "11.1.0",
+		"csd3":          "11.2.0",
+		"isambard-macs": "9.2.0",
+	}
+	for sys, ver := range want {
+		c, err := r.ForSystem(sys).DefaultCompiler()
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if c.Name != "gcc" || c.Version.String() != ver {
+			t.Errorf("%s default compiler = %%%s, want gcc@%s", sys, c, ver)
+		}
+	}
+}
+
+func TestTable3EndToEnd(t *testing.T) {
+	// The full path the paper takes for Table 3: per-system env config →
+	// concretizer → dependency versions.
+	reg := UKRegistry()
+	builtin := repo.Builtin()
+	want := map[string][4]string{ // system -> {mpi lib, mpi ver, python ver, gcc ver}
+		"archer2":       {"cray-mpich", "8.1.23", "3.10.12", "11.2.0"},
+		"cosma8":        {"mvapich2", "2.3.6", "2.7.15", "11.1.0"},
+		"csd3":          {"openmpi", "4.0.4", "3.8.2", "11.2.0"},
+		"isambard-macs": {"openmpi", "4.0.3", "3.7.5", "9.2.0"},
+	}
+	for sys, exp := range want {
+		cfg := reg.ForSystem(sys)
+		res, err := concretize.Concretize(spec.MustParse("hpgmg%gcc"), cfg.ConcretizeOptions(builtin, "x86_64"))
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		// The bare %gcc constraint resolves to the system's preferred
+		// gcc — Table 3's compiler column.
+		if got := res.Spec.Compiler.Version.String(); got != exp[3] {
+			t.Errorf("%s: gcc = %s, want %s", sys, got, exp[3])
+		}
+		mpi := res.Spec.Lookup(exp[0])
+		if mpi == nil || mpi.Version.String() != exp[1] {
+			t.Errorf("%s: MPI = %v, want %s@%s", sys, mpi, exp[0], exp[1])
+		}
+		py := res.Spec.Lookup("python")
+		if py == nil || py.Version.String() != exp[2] {
+			t.Errorf("%s: python = %v, want %s", sys, py, exp[2])
+		}
+	}
+}
+
+func TestUnknownSystemGetsBasicEnvironment(t *testing.T) {
+	r := UKRegistry()
+	c := r.ForSystem("brand-new-machine")
+	if c.System != "brand-new-machine" {
+		t.Errorf("system = %q", c.System)
+	}
+	if len(c.Compilers) == 0 {
+		t.Error("basic environment must still offer a compiler")
+	}
+	if len(c.Externals) != 0 {
+		t.Error("basic environment must not invent system packages")
+	}
+	if r.Known("brand-new-machine") {
+		t.Error("fallback config should not be marked known")
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Add(&SystemConfig{}); err == nil {
+		t.Error("empty system name accepted")
+	}
+	c := &SystemConfig{System: "x"}
+	if err := r.Add(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(c); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if got := r.Names(); len(got) != 1 || got[0] != "x" {
+		t.Errorf("Names = %v", got)
+	}
+}
+
+func TestParseConfigFile(t *testing.T) {
+	text := `
+system: archer2
+account: z19
+qos: standard
+compilers:
+  - gcc@11.2.0
+  - cce@15.0.0
+externals:
+  - spec: cray-mpich@8.1.23
+    path: /opt/cray/pe/mpich/8.1.23
+providers:
+  mpi: cray-mpich
+env:
+  OMP_PLACES: cores
+`
+	c, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.System != "archer2" || c.Account != "z19" || c.QOS != "standard" {
+		t.Errorf("header fields: %+v", c)
+	}
+	if len(c.Compilers) != 2 || c.Compilers[0].String() != "gcc@11.2.0" {
+		t.Errorf("compilers = %v", c.Compilers)
+	}
+	if len(c.Externals) != 1 || c.Externals[0].Path != "/opt/cray/pe/mpich/8.1.23" {
+		t.Errorf("externals = %+v", c.Externals)
+	}
+	if c.Providers["mpi"] != "cray-mpich" {
+		t.Errorf("providers = %v", c.Providers)
+	}
+	if c.EnvVars["OMP_PLACES"] != "cores" {
+		t.Errorf("env = %v", c.EnvVars)
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	cases := []string{
+		"account: z19\n",                                          // missing system
+		"system: x\nbogus: 1\n",                                   // unknown key
+		"system: x\ncompilers:\n  - gcc\n",                        // compiler without version
+		"system: x\nexternals:\n  - spec: openmpi\n    path: /\n", // external without exact version
+		"system: x\nexternals:\n  - path: /usr\n",                 // external without spec
+	}
+	for _, text := range cases {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("Parse(%q): expected error", text)
+		}
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sys.yaml")
+	if err := os.WriteFile(path, []byte("system: testsys\ncompilers:\n  - gcc@12.1.0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.System != "testsys" {
+		t.Errorf("system = %q", c.System)
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.yaml")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestCaptureEnvironment(t *testing.T) {
+	t.Setenv("OMP_NUM_THREADS", "8")
+	t.Setenv("IRRELEVANT_VARIABLE", "noise")
+	c := CaptureEnvironment()
+	if c.Hostname == "" && c.OS == "" {
+		t.Error("capture is empty")
+	}
+	if c.EnvVars["OMP_NUM_THREADS"] != "8" {
+		t.Error("relevant env var not captured")
+	}
+	if _, ok := c.EnvVars["IRRELEVANT_VARIABLE"]; ok {
+		t.Error("irrelevant env var captured")
+	}
+	s := c.Summary()
+	for _, want := range []string{"hostname:", "go:", "ncpu:", "OMP_NUM_THREADS=8"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestYAMLRoundTrip(t *testing.T) {
+	// Every builtin system config must survive YAML export → Parse.
+	reg := UKRegistry()
+	for _, name := range reg.Names() {
+		orig := reg.ForSystem(name)
+		text := orig.YAML()
+		got, err := Parse(text)
+		if err != nil {
+			t.Fatalf("%s: re-parse failed: %v\n%s", name, err, text)
+		}
+		if got.System != orig.System || got.Account != orig.Account || got.QOS != orig.QOS {
+			t.Errorf("%s: header changed: %+v", name, got)
+		}
+		if len(got.Compilers) != len(orig.Compilers) {
+			t.Errorf("%s: compilers %d != %d", name, len(got.Compilers), len(orig.Compilers))
+		} else {
+			for i := range got.Compilers {
+				if got.Compilers[i].String() != orig.Compilers[i].String() {
+					t.Errorf("%s: compiler %d: %s != %s", name, i, got.Compilers[i], orig.Compilers[i])
+				}
+			}
+		}
+		if len(got.Externals) != len(orig.Externals) {
+			t.Errorf("%s: externals %d != %d", name, len(got.Externals), len(orig.Externals))
+		}
+		for k, v := range orig.Providers {
+			if got.Providers[k] != v {
+				t.Errorf("%s: provider %s lost", name, k)
+			}
+		}
+		for k, v := range orig.EnvVars {
+			if got.EnvVars[k] != v {
+				t.Errorf("%s: env var %s lost", name, k)
+			}
+		}
+	}
+}

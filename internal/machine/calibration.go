@@ -1,0 +1,63 @@
+package machine
+
+// Per-system calibration: effects of the *platform* (software stack,
+// MPI library, toolchain age) beyond the processor architecture. The
+// paper's §3.3 observes exactly this — two Cascade Lake systems (CSD3 and
+// Isambard MACS) differ by ~4x on HPGMG, and two Rome systems (ARCHER2
+// and COSMA8) swap order between multigrid levels — and argues that
+// cross-system benchmarking is necessary precisely because such factors
+// exist. The constants below are fitted to reproduce those reported
+// shapes (Table 4); see EXPERIMENTS.md for paper-vs-model numbers.
+
+// systemFactors scale throughput for platform-specific software effects
+// on multi-node runs (the framework applies them only when a job spans
+// more than one node — single-node runs see the architecture's own
+// efficiency, which is why Isambard MACS posts normal HPCG numbers in
+// Table 2 yet collapses on the 4-node HPGMG runs of Table 4).
+// 1.0 = the architecture's calibrated efficiency.
+var systemFactors = map[string]float64{
+	"archer2":       1.00,  // Cray PE, well-tuned stack
+	"cosma8":        0.86,  // mvapich2 2.3.6 + mpirun binding overhead
+	"csd3":          1.00,  // recent OpenMPI + srun binding
+	"isambard-macs": 0.245, // small test system: older OpenMPI 4.0.3, gcc 9.2, no tuned PE
+	"isambard-xci":  0.90,
+	"noctua2":       1.00,
+	"local":         1.00,
+}
+
+// SystemFactor returns the platform factor for a system name (1.0 when
+// unknown).
+func SystemFactor(system string) float64 {
+	if f, ok := systemFactors[system]; ok {
+		return f
+	}
+	return 1.0
+}
+
+// networks gives the interconnect model per system. Latencies dominate
+// the small coarse-grid levels of multigrid (HPGMG l2), which is where
+// COSMA8's low-latency fabric overtakes ARCHER2 in Table 4.
+var networks = map[string]Network{
+	"archer2": {LatencySec: 2.6e-6, BandwidthGBs: 25.0}, // Slingshot-10
+	"cosma8":  {LatencySec: 1.0e-6, BandwidthGBs: 24.0}, // HDR200 InfiniBand
+	// CSD3's effective per-message cost is dominated by MPI software
+	// overheads in this configuration (Table 4 shows its l2 rate at 39%
+	// of l0, the steepest small-problem falloff of the Rome/CL systems).
+	"csd3": {LatencySec: 6.5e-6, BandwidthGBs: 12.5},
+	// Isambard MACS is a small test system with an untuned OpenMPI over
+	// a commodity fabric; its per-message cost is an order of magnitude
+	// above the production machines.
+	"isambard-macs": {LatencySec: 12e-6, BandwidthGBs: 12.5},
+	"isambard-xci":  {LatencySec: 1.4e-6, BandwidthGBs: 14.0}, // Aries
+	"noctua2":       {LatencySec: 1.2e-6, BandwidthGBs: 25.0},
+	"local":         {LatencySec: 0.3e-6, BandwidthGBs: 20.0}, // shared memory
+}
+
+// NetworkFor returns the interconnect model for a system, with a generic
+// cluster fabric for unknown systems.
+func NetworkFor(system string) Network {
+	if n, ok := networks[system]; ok {
+		return n
+	}
+	return Network{LatencySec: 2.0e-6, BandwidthGBs: 12.5}
+}

@@ -1,0 +1,339 @@
+// Package machine is the simulated execution substrate: it predicts how
+// long a given computational workload takes on a given processor under a
+// given programming model.
+//
+// The paper's experiments ran on seven real UK HPC systems that this
+// reproduction cannot access, so the framework's Executor plugs into this
+// analytic model instead (see DESIGN.md, substitutions). The model is a
+// roofline: a workload moving B bytes and computing F flops on processor
+// p takes
+//
+//	t = max( B / (BW_peak(p) · e_bw · s(threads)),  F / (FLOPS_peak(p) · e_fl) ) + overheads
+//
+// where e_bw and e_fl are per-(programming model, microarchitecture)
+// efficiency factors and s(threads) models bandwidth saturation with
+// thread count. The efficiency matrix is calibrated so the *shapes* of
+// the paper's Figure 2 and Tables 2/4 are reproduced: which model/platform
+// wins, by roughly what factor, and where support gaps ("*" cells) fall.
+// Absolute numbers are not the target (paper systems differ from any
+// model); see EXPERIMENTS.md.
+//
+// All predictions are deterministic: the jitter term is a hash of the
+// inputs, so repeated runs reproduce exactly (the property Principles 3-5
+// are designed to give real systems, and which the simulation gets for
+// free).
+package machine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/platform"
+)
+
+// ProgModel names a parallel programming model, matching the BabelStream
+// model variants in the package repository.
+type ProgModel string
+
+const (
+	OMP        ProgModel = "omp"
+	Kokkos     ProgModel = "kokkos"
+	CUDA       ProgModel = "cuda"
+	OpenCL     ProgModel = "ocl"
+	TBB        ProgModel = "tbb"
+	StdData    ProgModel = "std-data"
+	StdIndices ProgModel = "std-indices"
+	StdRanges  ProgModel = "std-ranges"
+	SYCL       ProgModel = "sycl"
+	MPI        ProgModel = "mpi" // flat-MPI process parallelism (HPCG, HPGMG)
+	Serial     ProgModel = "serial"
+)
+
+// AllModels lists the programming models of the Figure 2 survey in the
+// paper's row order.
+func AllModels() []ProgModel {
+	return []ProgModel{Kokkos, OMP, CUDA, OpenCL, TBB, StdData, StdIndices, StdRanges}
+}
+
+// Support describes whether a model can run on a processor, mirroring the
+// white "*" cells of Figure 2 (CUDA on CPUs, TBB on ThunderX2, ...).
+type Support struct {
+	OK     bool
+	Reason string // why not, when !OK
+	// MaxThreads caps usable parallelism (std-ranges executes in a
+	// single thread, paper §3.1); 0 means no cap.
+	MaxThreads int
+}
+
+// ModelSupport reports whether a programming model runs on a processor.
+func ModelSupport(m ProgModel, p *platform.Processor) Support {
+	gpu := p.Kind == platform.GPU
+	switch m {
+	case CUDA:
+		if !gpu || p.Vendor != "NVIDIA" {
+			return Support{Reason: "CUDA requires an NVIDIA GPU"}
+		}
+		return Support{OK: true}
+	case OpenCL:
+		if !gpu {
+			return Support{Reason: "no OpenCL runtime configured for CPU targets"}
+		}
+		return Support{OK: true}
+	case OMP, Kokkos:
+		return Support{OK: true} // works everywhere (paper: "OpenMP works on all devices")
+	case TBB:
+		if gpu {
+			return Support{Reason: "TBB targets CPUs only"}
+		}
+		if p.Arch == platform.AArch64 {
+			return Support{Reason: "intel-tbb is not supported on aarch64"}
+		}
+		return Support{OK: true}
+	case StdData, StdIndices:
+		if gpu {
+			return Support{Reason: "libstdc++ parallel algorithms not offloaded to this GPU stack"}
+		}
+		return Support{OK: true}
+	case StdRanges:
+		if gpu {
+			return Support{Reason: "libstdc++ parallel algorithms not offloaded to this GPU stack"}
+		}
+		// Multicore std-ranges is work in progress: single thread only.
+		return Support{OK: true, MaxThreads: 1}
+	case SYCL:
+		if gpu {
+			return Support{OK: true}
+		}
+		if p.Arch == platform.AArch64 {
+			return Support{Reason: "no SYCL implementation available on aarch64"}
+		}
+		return Support{OK: true}
+	case MPI, Serial:
+		if gpu {
+			return Support{Reason: "host-process model does not target GPUs"}
+		}
+		return Support{OK: true}
+	default:
+		return Support{Reason: fmt.Sprintf("unknown programming model %q", m)}
+	}
+}
+
+// bwEfficiency is the calibrated fraction of theoretical peak memory
+// bandwidth each model achieves at full parallelism, per microarch.
+// Shapes follow §3.1: CUDA/OpenCL near peak on Volta; OpenMP best-utilised
+// on the x86 CPUs and weaker on ThunderX2; TBB and std-data/indices close
+// to OpenMP on x86; abstraction layers (Kokkos) pay a small overhead.
+var bwEfficiency = map[string]map[ProgModel]float64{
+	"cascadelake": {
+		OMP: 0.80, Kokkos: 0.76, TBB: 0.71,
+		StdData: 0.78, StdIndices: 0.77, StdRanges: 0.78,
+		SYCL: 0.70, MPI: 0.80, Serial: 0.80,
+	},
+	"thunderx2": {
+		OMP: 0.68, Kokkos: 0.63,
+		StdData: 0.31, StdIndices: 0.31, StdRanges: 0.31,
+		MPI: 0.70, Serial: 0.70,
+	},
+	"milan": {
+		OMP: 0.82, Kokkos: 0.78, TBB: 0.74,
+		StdData: 0.80, StdIndices: 0.79, StdRanges: 0.80,
+		SYCL: 0.72, MPI: 0.82, Serial: 0.82,
+	},
+	"rome": {
+		OMP: 0.81, Kokkos: 0.77, TBB: 0.73,
+		StdData: 0.79, StdIndices: 0.78, StdRanges: 0.79,
+		SYCL: 0.71, MPI: 0.82, Serial: 0.81,
+	},
+	"volta": {
+		CUDA: 0.93, OpenCL: 0.92, Kokkos: 0.88, OMP: 0.70, SYCL: 0.85,
+	},
+	"host": {
+		OMP: 0.80, Kokkos: 0.76, TBB: 0.72,
+		StdData: 0.78, StdIndices: 0.77, StdRanges: 0.78,
+		SYCL: 0.70, MPI: 0.80, Serial: 0.80,
+	},
+}
+
+// flEfficiency is the fraction of peak FP64 each model sustains on
+// compute-bound loops (less differentiated than bandwidth).
+var flEfficiency = map[string]float64{
+	"cascadelake": 0.85,
+	"thunderx2":   0.75,
+	"milan":       0.85,
+	"rome":        0.85,
+	"volta":       0.90,
+	"host":        0.80,
+}
+
+// BandwidthEfficiency returns the model's calibrated fraction of peak
+// bandwidth on the processor, and whether the combination is supported.
+func BandwidthEfficiency(m ProgModel, p *platform.Processor) (float64, bool) {
+	if s := ModelSupport(m, p); !s.OK {
+		return 0, false
+	}
+	row, ok := bwEfficiency[p.Microarch]
+	if !ok {
+		row = bwEfficiency["host"]
+	}
+	e, ok := row[m]
+	if !ok {
+		return 0, false
+	}
+	return e, true
+}
+
+// Run describes one on-node execution for the model.
+type Run struct {
+	Proc  *platform.Processor
+	Model ProgModel
+	// Threads is the per-process thread count; 0 means all cores.
+	Threads int
+	// Processes is the number of ranks sharing this node; they divide
+	// the node's bandwidth. 0 means 1.
+	Processes int
+	// SystemFactor scales the result for platform-specific effects
+	// beyond the architecture (toolchain age, MPI library quirks;
+	// paper §3.3). 0 means 1.0.
+	SystemFactor float64
+}
+
+func (r Run) normalized() (Run, error) {
+	if r.Proc == nil {
+		return r, fmt.Errorf("machine: run without processor")
+	}
+	sup := ModelSupport(r.Model, r.Proc)
+	if !sup.OK {
+		return r, fmt.Errorf("machine: %s on %s: %s", r.Model, r.Proc, sup.Reason)
+	}
+	if r.Processes <= 0 {
+		r.Processes = 1
+	}
+	total := r.Proc.TotalCores()
+	if r.Threads <= 0 {
+		r.Threads = total / r.Processes
+		if r.Threads < 1 {
+			r.Threads = 1
+		}
+	}
+	if sup.MaxThreads > 0 && r.Threads > sup.MaxThreads {
+		r.Threads = sup.MaxThreads
+	}
+	if r.SystemFactor <= 0 {
+		r.SystemFactor = 1
+	}
+	return r, nil
+}
+
+// saturationThreads is the thread count at which a CPU's memory
+// bandwidth saturates (roughly a quarter of the cores on the
+// architectures studied); GPUs are always saturated.
+func saturationThreads(p *platform.Processor) int {
+	if p.Kind == platform.GPU {
+		return 1
+	}
+	t := p.TotalCores() / 4
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// EffectiveBandwidth predicts the node-level sustained bandwidth (GB/s)
+// the run achieves across all its processes.
+func EffectiveBandwidth(r Run) (float64, error) {
+	r, err := r.normalized()
+	if err != nil {
+		return 0, err
+	}
+	eff, ok := BandwidthEfficiency(r.Model, r.Proc)
+	if !ok {
+		return 0, fmt.Errorf("machine: no bandwidth calibration for %s on %s", r.Model, r.Proc.Microarch)
+	}
+	active := r.Threads * r.Processes
+	sat := saturationThreads(r.Proc)
+	s := 1.0
+	if r.Proc.Kind != platform.GPU && active < sat {
+		s = float64(active) / float64(sat)
+	}
+	return r.Proc.PeakBandwidthGBs * eff * s * r.SystemFactor, nil
+}
+
+// Time predicts the wall-clock seconds for a workload of the given bytes
+// and flops under the run, including a deterministic ±1.5% jitter and a
+// fixed per-invocation overhead.
+func Time(r Run, bytes, flops float64, salt string) (float64, error) {
+	bw, err := EffectiveBandwidth(r)
+	if err != nil {
+		return 0, err
+	}
+	rn, err := r.normalized()
+	if err != nil {
+		return 0, err
+	}
+	fl := rn.Proc.PeakGFlopsFP64 * 1e9 * flEff(rn.Proc) * rn.SystemFactor
+	active := float64(rn.Threads*rn.Processes) / float64(rn.Proc.TotalCores())
+	if rn.Proc.Kind != platform.GPU && active < 1 {
+		fl *= active
+	}
+	tMem := bytes / (bw * 1e9)
+	tFlop := flops / fl
+	t := math.Max(tMem, tFlop) + launchOverhead(rn.Proc)
+	return t * jitter(salt, rn), nil
+}
+
+func flEff(p *platform.Processor) float64 {
+	if e, ok := flEfficiency[p.Microarch]; ok {
+		return e
+	}
+	return flEfficiency["host"]
+}
+
+// launchOverhead is the fixed kernel/loop launch cost per invocation.
+func launchOverhead(p *platform.Processor) float64 {
+	if p.Kind == platform.GPU {
+		return 8e-6 // kernel launch
+	}
+	return 2e-6 // parallel-region fork/join
+}
+
+// jitter returns a deterministic multiplier in [0.985, 1.015] derived
+// from the run parameters, standing in for real-machine run-to-run noise
+// while keeping the simulation exactly reproducible.
+func jitter(salt string, r Run) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s|%d|%d", salt, r.Proc.Name, r.Model, r.Threads, r.Processes)
+	u := float64(h.Sum64()%10007) / 10006.0 // 0..1
+	return 0.985 + 0.03*u
+}
+
+// Network models the interconnect between nodes of a system.
+type Network struct {
+	LatencySec   float64 // per-message latency
+	BandwidthGBs float64 // per-node injection bandwidth
+}
+
+// MessageTime returns the cost of one point-to-point message of the
+// given size.
+func (n Network) MessageTime(bytes float64) float64 {
+	if n.BandwidthGBs <= 0 {
+		return n.LatencySec
+	}
+	return n.LatencySec + bytes/(n.BandwidthGBs*1e9)
+}
+
+// AllReduceTime returns the cost of an allreduce of the given payload
+// over nranks ranks (binomial-tree model: 2·log2(n) message steps).
+func (n Network) AllReduceTime(bytes float64, nranks int) float64 {
+	if nranks <= 1 {
+		return 0
+	}
+	steps := 2 * math.Ceil(math.Log2(float64(nranks)))
+	return steps * n.MessageTime(bytes)
+}
+
+// HaloExchangeTime returns the cost of one halo exchange where each rank
+// sends nNeighbors messages of the given size.
+func (n Network) HaloExchangeTime(bytesPerMsg float64, nNeighbors int) float64 {
+	return float64(nNeighbors) * n.MessageTime(bytesPerMsg)
+}

@@ -1,0 +1,340 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestModelSupportMatrix(t *testing.T) {
+	// The "*" cells of Figure 2.
+	cases := []struct {
+		m    ProgModel
+		p    *platform.Processor
+		want bool
+	}{
+		{CUDA, platform.CascadeLake6230, false}, // "CUDA on CPUs"
+		{CUDA, platform.TeslaV100, true},
+		{TBB, platform.ThunderX2, false}, // "Intel-TBB on Thunder"
+		{TBB, platform.CascadeLake6230, true},
+		{TBB, platform.EPYCMilan7763, true},
+		{OMP, platform.TeslaV100, true}, // "OpenMP works on all devices"
+		{OMP, platform.ThunderX2, true},
+		{OpenCL, platform.TeslaV100, true},
+		{OpenCL, platform.EPYCMilan7763, false},
+		{StdRanges, platform.CascadeLake6230, true},
+		{StdData, platform.TeslaV100, false},
+		{MPI, platform.EPYCRome7742, true},
+		{MPI, platform.TeslaV100, false},
+	}
+	for _, c := range cases {
+		got := ModelSupport(c.m, c.p)
+		if got.OK != c.want {
+			t.Errorf("ModelSupport(%s, %s) = %v (%s), want %v", c.m, c.p, got.OK, got.Reason, c.want)
+		}
+		if !got.OK && got.Reason == "" {
+			t.Errorf("unsupported combination %s/%s must explain why", c.m, c.p)
+		}
+	}
+}
+
+func TestStdRangesSingleThreaded(t *testing.T) {
+	s := ModelSupport(StdRanges, platform.EPYCMilan7763)
+	if !s.OK || s.MaxThreads != 1 {
+		t.Errorf("std-ranges support = %+v, want single-thread cap", s)
+	}
+	// Its effective bandwidth must be far below std-data's.
+	full, err := EffectiveBandwidth(Run{Proc: platform.EPYCMilan7763, Model: StdData})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := EffectiveBandwidth(Run{Proc: platform.EPYCMilan7763, Model: StdRanges})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one >= full/4 {
+		t.Errorf("std-ranges bw %g should be <1/4 of std-data %g", one, full)
+	}
+}
+
+func TestFigure2Shapes(t *testing.T) {
+	bw := func(m ProgModel, p *platform.Processor) float64 {
+		v, err := EffectiveBandwidth(Run{Proc: p, Model: m})
+		if err != nil {
+			t.Fatalf("%s on %s: %v", m, p, err)
+		}
+		return v
+	}
+	// CUDA and OpenCL close to peak on Volta.
+	if e := bw(CUDA, platform.TeslaV100) / platform.TeslaV100.PeakBandwidthGBs; e < 0.90 {
+		t.Errorf("CUDA/Volta efficiency %g, want >= 0.90", e)
+	}
+	if e := bw(OpenCL, platform.TeslaV100) / platform.TeslaV100.PeakBandwidthGBs; e < 0.88 {
+		t.Errorf("OpenCL/Volta efficiency %g, want >= 0.88", e)
+	}
+	// OpenMP better utilised on Intel/AMD than on ThunderX2.
+	intelEff := bw(OMP, platform.CascadeLake6230) / platform.CascadeLake6230.PeakBandwidthGBs
+	amdEff := bw(OMP, platform.EPYCMilan7763) / platform.EPYCMilan7763.PeakBandwidthGBs
+	tx2Eff := bw(OMP, platform.ThunderX2) / platform.ThunderX2.PeakBandwidthGBs
+	if intelEff <= tx2Eff || amdEff <= tx2Eff {
+		t.Errorf("OpenMP efficiency: intel %g amd %g tx2 %g; x86 should lead", intelEff, amdEff, tx2Eff)
+	}
+	// Kokkos (abstraction) pays a small overhead vs its OpenMP backend.
+	if bw(Kokkos, platform.EPYCMilan7763) >= bw(OMP, platform.EPYCMilan7763) {
+		t.Error("Kokkos should not beat its OpenMP backend")
+	}
+	// std-data and std-indices roughly agree; std-ranges much slower.
+	d := bw(StdData, platform.CascadeLake6230)
+	i := bw(StdIndices, platform.CascadeLake6230)
+	r := bw(StdRanges, platform.CascadeLake6230)
+	if math.Abs(d-i)/d > 0.1 {
+		t.Errorf("std-data %g vs std-indices %g disagree by >10%%", d, i)
+	}
+	if r >= d/3 {
+		t.Errorf("std-ranges %g should trail std-data %g heavily", r, d)
+	}
+}
+
+func TestBandwidthSaturation(t *testing.T) {
+	p := platform.EPYCRome7742 // 128 cores, saturates ~32 threads
+	low, _ := EffectiveBandwidth(Run{Proc: p, Model: OMP, Threads: 8})
+	mid, _ := EffectiveBandwidth(Run{Proc: p, Model: OMP, Threads: 32})
+	high, _ := EffectiveBandwidth(Run{Proc: p, Model: OMP, Threads: 128})
+	if !(low < mid) {
+		t.Errorf("bandwidth should grow below saturation: %g !< %g", low, mid)
+	}
+	if math.Abs(mid-high)/high > 0.01 {
+		t.Errorf("bandwidth should be flat past saturation: %g vs %g", mid, high)
+	}
+	// Processes count toward saturation like threads.
+	proc16, _ := EffectiveBandwidth(Run{Proc: p, Model: MPI, Threads: 1, Processes: 16})
+	thread16, _ := EffectiveBandwidth(Run{Proc: p, Model: OMP, Threads: 16})
+	ratio := proc16 / thread16
+	if ratio < 0.9 || ratio > 1.15 {
+		t.Errorf("16 ranks vs 16 threads should be comparable: %g vs %g", proc16, thread16)
+	}
+}
+
+func TestTimeRoofline(t *testing.T) {
+	p := platform.CascadeLake6230
+	// A memory-bound workload: 100 GB moved, trivial flops.
+	tMem, err := Time(Run{Proc: p, Model: OMP}, 100e9, 1e6, "t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected ~100/(282*0.80) = 0.443 s, within jitter+overhead.
+	want := 100.0 / (282 * 0.80)
+	if tMem < want*0.95 || tMem > want*1.1 {
+		t.Errorf("memory-bound time = %g, want ~%g", tMem, want)
+	}
+	// A compute-bound workload: 1e13 flops, tiny bytes.
+	tFl, err := Time(Run{Proc: p, Model: OMP}, 1e6, 1e13, "t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFl := 1e13 / (p.PeakGFlopsFP64 * 1e9 * 0.85)
+	if tFl < wantFl*0.95 || tFl > wantFl*1.1 {
+		t.Errorf("compute-bound time = %g, want ~%g", tFl, wantFl)
+	}
+}
+
+func TestTimeDeterministic(t *testing.T) {
+	r := Run{Proc: platform.EPYCMilan7763, Model: OMP}
+	a, _ := Time(r, 1e9, 1e9, "same")
+	b, _ := Time(r, 1e9, 1e9, "same")
+	if a != b {
+		t.Error("prediction must be deterministic")
+	}
+	c, _ := Time(r, 1e9, 1e9, "different-salt")
+	if a == c {
+		t.Error("different salts should jitter differently")
+	}
+	// Jitter is small.
+	if math.Abs(a-c)/a > 0.04 {
+		t.Errorf("jitter too large: %g vs %g", a, c)
+	}
+}
+
+func TestTimeUnsupportedModel(t *testing.T) {
+	if _, err := Time(Run{Proc: platform.CascadeLake6230, Model: CUDA}, 1e9, 0, ""); err == nil {
+		t.Error("CUDA on a CPU must error")
+	}
+	if _, err := Time(Run{Model: OMP}, 1e9, 0, ""); err == nil {
+		t.Error("nil processor must error")
+	}
+}
+
+func TestSystemFactor(t *testing.T) {
+	if SystemFactor("csd3") != 1.0 {
+		t.Error("csd3 factor should be 1.0")
+	}
+	// Isambard MACS's stack penalty (Table 4's 4x gap vs CSD3).
+	if f := SystemFactor("isambard-macs"); f > 0.3 {
+		t.Errorf("isambard-macs factor = %g, want << 1", f)
+	}
+	if SystemFactor("unknown-system") != 1.0 {
+		t.Error("unknown systems default to 1.0")
+	}
+	// The factor must flow into bandwidth.
+	base, _ := EffectiveBandwidth(Run{Proc: platform.CascadeLake6230, Model: MPI})
+	scaled, _ := EffectiveBandwidth(Run{Proc: platform.CascadeLake6230, Model: MPI, SystemFactor: 0.25})
+	if math.Abs(scaled-0.25*base)/base > 1e-9 {
+		t.Errorf("system factor not applied: %g vs %g", scaled, base)
+	}
+}
+
+func TestNetworkModel(t *testing.T) {
+	n := NetworkFor("archer2")
+	if n.LatencySec <= 0 || n.BandwidthGBs <= 0 {
+		t.Fatal("archer2 network unconfigured")
+	}
+	// Tiny message: latency-dominated.
+	small := n.MessageTime(8)
+	if small < n.LatencySec || small > 2*n.LatencySec {
+		t.Errorf("small message time %g vs latency %g", small, n.LatencySec)
+	}
+	// Large message: bandwidth-dominated.
+	big := n.MessageTime(1e9)
+	if big < 1e9/(n.BandwidthGBs*1e9) {
+		t.Errorf("big message too fast: %g", big)
+	}
+	// Allreduce grows logarithmically.
+	a4 := n.AllReduceTime(8, 4)
+	a16 := n.AllReduceTime(8, 16)
+	if a16 <= a4 {
+		t.Error("allreduce should grow with ranks")
+	}
+	if a16 > 2.1*a4 {
+		t.Errorf("allreduce growth not logarithmic: %g vs %g", a4, a16)
+	}
+	if n.AllReduceTime(8, 1) != 0 {
+		t.Error("single-rank allreduce is free")
+	}
+	// COSMA8's fabric has lower latency than ARCHER2's (Table 4 l2
+	// crossover).
+	if NetworkFor("cosma8").LatencySec >= NetworkFor("archer2").LatencySec {
+		t.Error("cosma8 should have lower latency than archer2")
+	}
+	// Unknown systems get a generic fabric.
+	if NetworkFor("nowhere").LatencySec <= 0 {
+		t.Error("default network missing")
+	}
+}
+
+func TestHaloExchange(t *testing.T) {
+	n := Network{LatencySec: 1e-6, BandwidthGBs: 10}
+	got := n.HaloExchangeTime(1e6, 6)
+	want := 6 * (1e-6 + 1e6/10e9)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("halo = %g, want %g", got, want)
+	}
+}
+
+func TestAllModelsListsFigure2Rows(t *testing.T) {
+	ms := AllModels()
+	if len(ms) != 8 {
+		t.Fatalf("AllModels = %v", ms)
+	}
+	if ms[0] != Kokkos || ms[7] != StdRanges {
+		t.Errorf("row order = %v", ms)
+	}
+}
+
+func TestUnknownMicroarchFallsBack(t *testing.T) {
+	p := &platform.Processor{
+		Vendor: "ACME", Name: "Rocket", Microarch: "rocket1",
+		Kind: platform.CPU, Arch: platform.X86_64,
+		Sockets: 1, CoresPerSocket: 16, ClockGHz: 3,
+		PeakBandwidthGBs: 100, PeakGFlopsFP64: 500,
+	}
+	bw, err := EffectiveBandwidth(Run{Proc: p, Model: OMP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw <= 0 || bw > 100 {
+		t.Errorf("fallback bandwidth = %g", bw)
+	}
+}
+
+func TestModelSupportFullMatrix(t *testing.T) {
+	// Every (model, processor) pair must produce a decision — no panics,
+	// and unsupported combinations always carry a reason.
+	procs := append(platform.Table1Processors(), platform.EPYCRome7742, platform.CascadeLake8276)
+	models := append(AllModels(), SYCL, MPI, Serial, ProgModel("made-up"))
+	for _, p := range procs {
+		for _, m := range models {
+			s := ModelSupport(m, p)
+			if !s.OK && s.Reason == "" {
+				t.Errorf("%s on %s: unsupported without reason", m, p)
+			}
+			if m == ProgModel("made-up") && s.OK {
+				t.Errorf("unknown model supported on %s", p)
+			}
+		}
+	}
+	// SYCL: GPU yes, x86 yes, aarch64 no; Serial/MPI: CPUs only.
+	if !ModelSupport(SYCL, platform.TeslaV100).OK {
+		t.Error("SYCL should run on Volta")
+	}
+	if ModelSupport(SYCL, platform.ThunderX2).OK {
+		t.Error("SYCL should not run on ThunderX2")
+	}
+	if ModelSupport(Serial, platform.TeslaV100).OK {
+		t.Error("serial model should not target GPUs")
+	}
+}
+
+func TestBandwidthEfficiencyUnsupported(t *testing.T) {
+	if _, ok := BandwidthEfficiency(CUDA, platform.CascadeLake6230); ok {
+		t.Error("unsupported combination returned an efficiency")
+	}
+	// volta has no TBB calibration row entry and is unsupported anyway.
+	if _, ok := BandwidthEfficiency(TBB, platform.TeslaV100); ok {
+		t.Error("TBB on volta returned an efficiency")
+	}
+	// SYCL on ThunderX2: supported=false.
+	if _, ok := BandwidthEfficiency(SYCL, platform.ThunderX2); ok {
+		t.Error("SYCL on TX2 returned an efficiency")
+	}
+}
+
+func TestGPULaunchOverheadExceedsCPU(t *testing.T) {
+	// Tiny workloads are overhead-dominated; the GPU pays more per
+	// launch than a CPU parallel region.
+	gpu, err := Time(Run{Proc: platform.TeslaV100, Model: CUDA}, 8, 1, "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := Time(Run{Proc: platform.CascadeLake6230, Model: OMP}, 8, 1, "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpu <= cpu {
+		t.Errorf("GPU launch overhead %g should exceed CPU %g for tiny work", gpu, cpu)
+	}
+}
+
+func TestMessageTimeZeroBandwidth(t *testing.T) {
+	n := Network{LatencySec: 2e-6}
+	if got := n.MessageTime(1e9); got != 2e-6 {
+		t.Errorf("zero-bandwidth network should be latency-only: %g", got)
+	}
+}
+
+func TestFlopEfficiencyFallback(t *testing.T) {
+	odd := &platform.Processor{
+		Vendor: "X", Name: "Y", Microarch: "unknown-uarch",
+		Kind: platform.CPU, Arch: platform.X86_64,
+		Sockets: 1, CoresPerSocket: 4, ClockGHz: 2,
+		PeakBandwidthGBs: 50, PeakGFlopsFP64: 100,
+	}
+	tm, err := Time(Run{Proc: odd, Model: OMP}, 1e3, 1e12, "flop-bound")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1e12 / (100e9 * 0.80) // host fallback flop efficiency
+	if tm < want*0.9 || tm > want*1.15 {
+		t.Errorf("fallback flop time = %g, want ~%g", tm, want)
+	}
+}

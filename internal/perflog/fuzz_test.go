@@ -1,0 +1,27 @@
+package perflog
+
+import "testing"
+
+// FuzzParseLine hardens the perflog reader: arbitrary lines must either
+// fail cleanly or yield an entry that round-trips through Line().
+func FuzzParseLine(f *testing.F) {
+	f.Add(sampleEntry().Line())
+	f.Add("benchmark=x")
+	f.Add("ts=2023-07-07T10:02:11Z|benchmark=b|system=s|partition=p|environ=e|spec=sp|job=1|result=pass|fom:l0=95.36 MDOF/s")
+	f.Add("benchmark=x|weird\\pfield=1")
+	f.Add("=|=|=")
+	f.Add("benchmark=x|fom:y=1e309")
+	f.Fuzz(func(t *testing.T, line string) {
+		e, err := ParseLine(line)
+		if err != nil {
+			return
+		}
+		re, err := ParseLine(e.Line())
+		if err != nil {
+			t.Fatalf("round trip of %q failed: %v", line, err)
+		}
+		if re.Benchmark != e.Benchmark || re.System != e.System || len(re.FOMs) != len(e.FOMs) {
+			t.Fatalf("round trip changed entry: %+v vs %+v", e, re)
+		}
+	})
+}

@@ -1,0 +1,263 @@
+// Package perflog reads and writes performance logs, the append-only
+// per-benchmark records ReFrame produces (paper §2.4). Each run appends
+// one line; post-processing assimilates the lines (possibly from several
+// systems) into a DataFrame without manual copying — Principle 6.
+//
+// The line format is pipe-separated key=value fields:
+//
+//	ts=2023-07-07T10:02:11Z|benchmark=hpgmg-fv|system=archer2|partition=compute|environ=gcc|spec=hpgmg%gcc|job=17|result=pass|num_tasks=8|fom:l0=95.36 MDOF/s|fom:l1=83.43 MDOF/s
+//
+// FOM fields carry a "fom:" prefix and an optional unit after the value.
+package perflog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/fom"
+)
+
+// Entry is one benchmark run record.
+type Entry struct {
+	Time      time.Time
+	Benchmark string
+	System    string
+	Partition string
+	Environ   string
+	Spec      string
+	JobID     int
+	Result    string // "pass" or "fail"
+	FOMs      map[string]fom.Value
+	Extra     map[string]string // run parameters (num_tasks, ...)
+}
+
+// Pass reports whether the entry records a successful run.
+func (e *Entry) Pass() bool { return e.Result == "pass" }
+
+// Line renders the entry as one perflog line. Field order is fixed and
+// FOMs/extras are sorted, so identical entries render identically.
+func (e *Entry) Line() string {
+	var parts []string
+	add := func(k, v string) {
+		parts = append(parts, k+"="+escape(v))
+	}
+	add("ts", e.Time.UTC().Format(time.RFC3339))
+	add("benchmark", e.Benchmark)
+	add("system", e.System)
+	add("partition", e.Partition)
+	add("environ", e.Environ)
+	add("spec", e.Spec)
+	add("job", strconv.Itoa(e.JobID))
+	add("result", e.Result)
+	for _, k := range sortedKeys(e.Extra) {
+		add(k, e.Extra[k])
+	}
+	for _, k := range sortedFOMKeys(e.FOMs) {
+		v := e.FOMs[k]
+		text := strconv.FormatFloat(v.Value, 'g', -1, 64)
+		if v.Unit != "" {
+			text += " " + v.Unit
+		}
+		add("fom:"+k, text)
+	}
+	return strings.Join(parts, "|")
+}
+
+// ParseLine decodes one perflog line.
+func ParseLine(line string) (*Entry, error) {
+	e := &Entry{FOMs: map[string]fom.Value{}, Extra: map[string]string{}}
+	if strings.TrimSpace(line) == "" {
+		return nil, fmt.Errorf("perflog: empty line")
+	}
+	for _, field := range strings.Split(line, "|") {
+		key, val, found := strings.Cut(field, "=")
+		if !found {
+			return nil, fmt.Errorf("perflog: malformed field %q", field)
+		}
+		val = unescape(val)
+		switch key {
+		case "ts":
+			t, err := time.Parse(time.RFC3339, val)
+			if err != nil {
+				return nil, fmt.Errorf("perflog: bad timestamp %q: %w", val, err)
+			}
+			e.Time = t
+		case "benchmark":
+			e.Benchmark = val
+		case "system":
+			e.System = val
+		case "partition":
+			e.Partition = val
+		case "environ":
+			e.Environ = val
+		case "spec":
+			e.Spec = val
+		case "job":
+			id, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("perflog: bad job id %q", val)
+			}
+			e.JobID = id
+		case "result":
+			e.Result = val
+		default:
+			if name, ok := strings.CutPrefix(key, "fom:"); ok {
+				numText, unit, _ := strings.Cut(val, " ")
+				v, err := strconv.ParseFloat(numText, 64)
+				if err != nil {
+					return nil, fmt.Errorf("perflog: bad FOM value %q for %s", val, name)
+				}
+				e.FOMs[name] = fom.Value{Name: name, Value: v, Unit: unit}
+			} else {
+				e.Extra[key] = val
+			}
+		}
+	}
+	if e.Benchmark == "" {
+		return nil, fmt.Errorf("perflog: line missing benchmark name")
+	}
+	return e, nil
+}
+
+// escape keeps the line format unambiguous: '|' and newlines cannot
+// appear raw inside values.
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "\\", `\\`)
+	s = strings.ReplaceAll(s, "|", `\p`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+func unescape(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' || i+1 == len(s) {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		switch s[i] {
+		case 'p':
+			b.WriteByte('|')
+		case 'n':
+			b.WriteByte('\n')
+		case '\\':
+			b.WriteByte('\\')
+		default:
+			b.WriteByte('\\')
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// Append appends entries to the perflog for a benchmark on a system,
+// following the directory layout <root>/<system>/<benchmark>.log and
+// creating directories as needed.
+func Append(root, system, benchmark string, entries ...*Entry) error {
+	dir := filepath.Join(root, system)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("perflog: %w", err)
+	}
+	path := filepath.Join(dir, benchmark+".log")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("perflog: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for _, e := range entries {
+		if _, err := w.WriteString(e.Line() + "\n"); err != nil {
+			return fmt.Errorf("perflog: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("perflog: %w", err)
+	}
+	return nil
+}
+
+// Read decodes all entries from one perflog file.
+func Read(path string) ([]*Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("perflog: %w", err)
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}
+
+// ReadFrom decodes entries from a stream, one line each.
+func ReadFrom(r io.Reader) ([]*Entry, error) {
+	var out []*Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		e, err := ParseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("perflog: line %d: %w", lineNo, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("perflog: %w", err)
+	}
+	return out, nil
+}
+
+// ReadTree walks a perflog root directory (as written by Append, possibly
+// covering many systems) and returns every entry. This is the
+// cross-platform assimilation step of §2.4: logs "generated on isolated
+// systems" are collated in one pass.
+func ReadTree(root string) ([]*Entry, error) {
+	var out []*Entry
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() || !strings.HasSuffix(path, ".log") {
+			return nil
+		}
+		entries, err := Read(path)
+		if err != nil {
+			return err
+		}
+		out = append(out, entries...)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("perflog: %w", err)
+	}
+	return out, nil
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedFOMKeys(m map[string]fom.Value) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,204 @@
+package perflog
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/fom"
+)
+
+func sampleEntry() *Entry {
+	return &Entry{
+		Time:      time.Date(2023, 7, 7, 10, 2, 11, 0, time.UTC),
+		Benchmark: "hpgmg-fv",
+		System:    "archer2",
+		Partition: "compute",
+		Environ:   "gcc",
+		Spec:      "hpgmg%gcc",
+		JobID:     17,
+		Result:    "pass",
+		FOMs: map[string]fom.Value{
+			"l0": {Name: "l0", Value: 95.36, Unit: "MDOF/s"},
+			"l1": {Name: "l1", Value: 83.43, Unit: "MDOF/s"},
+			"l2": {Name: "l2", Value: 62.18, Unit: "MDOF/s"},
+		},
+		Extra: map[string]string{"num_tasks": "8", "num_cpus_per_task": "8"},
+	}
+}
+
+func TestLineRoundTrip(t *testing.T) {
+	e := sampleEntry()
+	line := e.Line()
+	got, err := ParseLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmark != e.Benchmark || got.System != e.System || got.JobID != e.JobID {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if !got.Time.Equal(e.Time) {
+		t.Errorf("time = %v", got.Time)
+	}
+	if len(got.FOMs) != 3 {
+		t.Fatalf("FOMs = %v", got.FOMs)
+	}
+	if got.FOMs["l0"].Value != 95.36 || got.FOMs["l0"].Unit != "MDOF/s" {
+		t.Errorf("l0 = %+v", got.FOMs["l0"])
+	}
+	if got.Extra["num_tasks"] != "8" {
+		t.Errorf("extra = %v", got.Extra)
+	}
+	if !got.Pass() {
+		t.Error("pass flag lost")
+	}
+}
+
+func TestLineDeterministic(t *testing.T) {
+	a, b := sampleEntry().Line(), sampleEntry().Line()
+	if a != b {
+		t.Error("identical entries must render identically")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	e := sampleEntry()
+	e.Spec = `weird|spec with \back\slash` + "\nnewline"
+	line := e.Line()
+	if strings.Count(line, "\n") != 0 {
+		t.Fatal("newline leaked into line")
+	}
+	got, err := ParseLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec != e.Spec {
+		t.Errorf("spec = %q, want %q", got.Spec, e.Spec)
+	}
+}
+
+func TestEscapingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		chars := []byte(`ab|\n=:%` + "\n")
+		buf := make([]byte, r.Intn(20))
+		for i := range buf {
+			buf[i] = chars[r.Intn(len(chars))]
+		}
+		e := sampleEntry()
+		e.Spec = string(buf)
+		got, err := ParseLine(e.Line())
+		if err != nil {
+			return false
+		}
+		return got.Spec == e.Spec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"nokeyvalue",
+		"ts=notatime|benchmark=x",
+		"benchmark=x|job=NaN",
+		"benchmark=x|fom:y=abc",
+		"ts=2023-07-07T10:02:11Z|system=a", // no benchmark
+	} {
+		if _, err := ParseLine(bad); err == nil {
+			t.Errorf("ParseLine(%q): expected error", bad)
+		}
+	}
+}
+
+func TestAppendAndRead(t *testing.T) {
+	root := t.TempDir()
+	e1, e2 := sampleEntry(), sampleEntry()
+	e2.JobID = 18
+	if err := Append(root, "archer2", "hpgmg-fv", e1, e2); err != nil {
+		t.Fatal(err)
+	}
+	// Appending again grows the log (append-only).
+	e3 := sampleEntry()
+	e3.JobID = 19
+	if err := Append(root, "archer2", "hpgmg-fv", e3); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Read(filepath.Join(root, "archer2", "hpgmg-fv.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d, want 3", len(entries))
+	}
+	if entries[2].JobID != 19 {
+		t.Errorf("order not preserved: %+v", entries[2])
+	}
+}
+
+func TestReadTreeAssimilatesSystems(t *testing.T) {
+	// Principle 6: logs from isolated systems collate in one pass.
+	root := t.TempDir()
+	for _, sys := range []string{"archer2", "cosma8", "csd3", "isambard-macs"} {
+		e := sampleEntry()
+		e.System = sys
+		if err := Append(root, sys, "hpgmg-fv", e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all, err := ReadTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("assimilated %d entries, want 4", len(all))
+	}
+	systems := map[string]bool{}
+	for _, e := range all {
+		systems[e.System] = true
+	}
+	if len(systems) != 4 {
+		t.Errorf("systems = %v", systems)
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.log")
+	content := "# perflog for x\n\n" + sampleEntry().Line() + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("entries = %d", len(entries))
+	}
+}
+
+func TestReadMissingFile(t *testing.T) {
+	if _, err := Read(filepath.Join(t.TempDir(), "nope.log")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReadCorruptLineReportsLineNumber(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.log")
+	content := sampleEntry().Line() + "\ngarbage line\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Read(path)
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error should name the line: %v", err)
+	}
+}

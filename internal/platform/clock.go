@@ -1,0 +1,8 @@
+package platform
+
+import "time"
+
+// nowSeconds returns a monotonic wall-clock reading in seconds.
+func nowSeconds() float64 {
+	return float64(time.Now().UnixNano()) / 1e9
+}

@@ -1,0 +1,276 @@
+package repo
+
+import "repro/internal/spec"
+
+// Builtin returns the framework's recipe repository: the benchmark
+// applications used in the paper's three case studies plus the library
+// and toolchain packages their builds depend on. Version lists follow the
+// versions reported in the paper (e.g. Table 3's gcc/python/MPI versions,
+// the GCC 9.2.0/10.3.0/12.1.0 and oneAPI 2023.1.0 compilers of §3.1).
+func Builtin() *Repository {
+	r := NewRepository("builtin")
+
+	// --- Benchmark applications -------------------------------------
+
+	r.MustAdd(&Package{
+		Name:             "babelstream",
+		Description:      "STREAM-style memory bandwidth benchmark in many parallel programming models",
+		Homepage:         "https://github.com/UoB-HPC/BabelStream",
+		Versions:         vs("3.4", "4.0", "5.0"),
+		PreferredVersion: "4.0",
+		Variants: []VariantDef{
+			{
+				Name:        "model",
+				Description: "programming model used for the kernels",
+				Default:     spec.StrVariant("omp"),
+				Values: []string{
+					"omp", "kokkos", "cuda", "ocl", "tbb",
+					"std-data", "std-indices", "std-ranges", "sycl",
+				},
+			},
+			{Name: "mpi", Description: "enable multi-process harness", Bool: true, Default: spec.BoolVariant(false)},
+			{
+				Name:        "target",
+				Description: "target instruction-set family (set from the partition by the concretizer)",
+				Default:     spec.StrVariant("x86_64"),
+				Values:      []string{"x86_64", "aarch64", "ptx"},
+			},
+		},
+		Dependencies: []Dependency{
+			{Name: "cmake", Type: BuildDep},
+			{Name: "kokkos", Type: LinkDep, When: spec.MustParse("babelstream model=kokkos")},
+			{Name: "cuda", Type: LinkDep, When: spec.MustParse("babelstream model=cuda")},
+			{Name: "opencl", Type: LinkDep, When: spec.MustParse("babelstream model=ocl")},
+			{Name: "intel-tbb", Type: LinkDep, When: spec.MustParse("babelstream model=tbb")},
+			// ISO C++ parallel algorithms use the TBB backend of
+			// libstdc++ for multicore execution on x86 (paper §3.1); on
+			// aarch64 they still build and run, just without the
+			// multicore backend — the isambard-xci slowdown of Fig. 2.
+			{Name: "intel-tbb", Type: RunDep, When: spec.MustParse("babelstream model=std-data target=x86_64")},
+			{Name: "intel-tbb", Type: RunDep, When: spec.MustParse("babelstream model=std-indices target=x86_64")},
+			{Name: "intel-tbb", Type: RunDep, When: spec.MustParse("babelstream model=std-ranges target=x86_64")},
+			{Name: "mpi", Type: LinkDep, When: spec.MustParse("babelstream +mpi")},
+		},
+		BuildSystem: "cmake",
+		BuildCost:   3,
+	})
+
+	r.MustAdd(&Package{
+		Name:        "hpcg",
+		Description: "High Performance Conjugate Gradient benchmark and the paper's algorithmic variants",
+		Homepage:    "https://www.hpcg-benchmark.org",
+		Versions:    vs("3.0", "3.1"),
+		Variants: []VariantDef{
+			{
+				Name:        "variant",
+				Description: "algorithm/implementation variant (paper §3.2, Table 2)",
+				Default:     spec.StrVariant("original"),
+				Values:      []string{"original", "intel-avx2", "matrix-free", "lfric"},
+			},
+			{Name: "openmp", Description: "hybrid MPI+OpenMP build", Bool: true, Default: spec.BoolVariant(false)},
+		},
+		Dependencies: []Dependency{
+			{Name: "mpi", Type: LinkDep},
+			{Name: "intel-oneapi-mkl", Type: LinkDep, When: spec.MustParse("hpcg variant=intel-avx2")},
+		},
+		Conflicts: []Conflict{
+			// The vendor-optimised binaries ship only for Intel
+			// toolchains; this is why Table 2 reports N/A on AMD Rome.
+			{When: spec.MustParse("hpcg variant=intel-avx2 %gcc"), Reason: "Intel-avx2 binaries require the oneapi toolchain"},
+		},
+		BuildSystem: "autotools",
+		BuildCost:   5,
+	})
+
+	r.MustAdd(&Package{
+		Name:             "hpgmg",
+		Description:      "HPGMG finite-volume full multigrid benchmark",
+		Homepage:         "https://bitbucket.org/hpgmg/hpgmg",
+		Versions:         vs("0.4", "1.0"),
+		PreferredVersion: "0.4",
+		Variants: []VariantDef{
+			{Name: "fv", Description: "build the finite-volume solver", Bool: true, Default: spec.BoolVariant(true)},
+			{Name: "fe", Description: "build the finite-element solver", Bool: true, Default: spec.BoolVariant(false)},
+			{Name: "mpi", Description: "distributed-memory build", Bool: true, Default: spec.BoolVariant(true)},
+		},
+		Dependencies: []Dependency{
+			// The default FV variant has exactly two build
+			// dependencies, MPI and Python (paper §3.3, Table 3).
+			{Name: "mpi", Type: LinkDep, When: spec.MustParse("hpgmg +mpi")},
+			{Name: "python", Type: BuildDep},
+		},
+		BuildSystem: "make",
+		BuildCost:   4,
+	})
+
+	r.MustAdd(&Package{
+		Name:        "stream",
+		Description: "classic McCalpin STREAM benchmark",
+		Homepage:    "https://www.cs.virginia.edu/stream/",
+		Versions:    vs("5.10"),
+		Variants: []VariantDef{
+			{Name: "openmp", Description: "thread the kernels with OpenMP", Bool: true, Default: spec.BoolVariant(true)},
+		},
+		BuildSystem: "make",
+		BuildCost:   1,
+	})
+
+	// --- Toolchain ----------------------------------------------------
+
+	r.MustAdd(&Package{
+		Name:        "gcc",
+		Description: "GNU Compiler Collection",
+		Versions:    vs("9.2.0", "10.3.0", "11.1.0", "11.2.0", "12.1.0"),
+		BuildSystem: "autotools",
+		BuildCost:   60,
+	})
+	r.MustAdd(&Package{
+		Name:        "oneapi",
+		Description: "Intel oneAPI compiler toolchain",
+		Versions:    vs("2022.2.0", "2023.1.0"),
+		BuildSystem: "bundle",
+		BuildCost:   30,
+	})
+	r.MustAdd(&Package{
+		Name:        "intel-oneapi-mkl",
+		Description: "Intel oneAPI Math Kernel Library (ships the optimised HPCG binaries)",
+		Versions:    vs("2023.1.0"),
+		BuildSystem: "bundle",
+		BuildCost:   10,
+	})
+	r.MustAdd(&Package{
+		Name:        "cmake",
+		Description: "cross-platform build system generator",
+		Versions:    vs("3.20.0", "3.24.2", "3.26.3"),
+		BuildSystem: "autotools",
+		BuildCost:   8,
+	})
+	r.MustAdd(&Package{
+		Name:        "python",
+		Description: "Python interpreter (HPGMG build scripts)",
+		Versions:    vs("2.7.15", "3.7.5", "3.8.2", "3.10.12"),
+		BuildSystem: "autotools",
+		BuildCost:   12,
+	})
+
+	// --- MPI providers (virtual package "mpi") ------------------------
+
+	r.MustAdd(&Package{
+		Name:        "openmpi",
+		Description: "Open MPI message passing library",
+		Versions:    vs("4.0.3", "4.0.4", "4.1.4"),
+		Provides:    []string{"mpi"},
+		Dependencies: []Dependency{
+			{Name: "hwloc", Type: LinkDep},
+		},
+		BuildSystem: "autotools",
+		BuildCost:   20,
+	})
+	r.MustAdd(&Package{
+		Name:        "mpich",
+		Description: "MPICH message passing library",
+		Versions:    vs("3.4.3", "4.1.1"),
+		Provides:    []string{"mpi"},
+		BuildSystem: "autotools",
+		BuildCost:   18,
+	})
+	r.MustAdd(&Package{
+		Name:        "cray-mpich",
+		Description: "HPE Cray MPICH (system-provided on Cray EX)",
+		Versions:    vs("8.1.23"),
+		Provides:    []string{"mpi"},
+		BuildSystem: "bundle",
+		BuildCost:   1,
+	})
+	r.MustAdd(&Package{
+		Name:        "mvapich2",
+		Description: "MVAPICH2 message passing library",
+		Versions:    vs("2.3.6", "2.3.7"),
+		Provides:    []string{"mpi"},
+		BuildSystem: "autotools",
+		BuildCost:   18,
+	})
+
+	// --- Programming-model runtimes -----------------------------------
+
+	r.MustAdd(&Package{
+		Name:        "kokkos",
+		Description: "Kokkos C++ performance-portability abstraction",
+		Versions:    vs("3.7.2", "4.0.1"),
+		Variants: []VariantDef{
+			{
+				Name:        "backend",
+				Description: "device backend Kokkos dispatches to",
+				Default:     spec.StrVariant("openmp"),
+				Values:      []string{"openmp", "cuda", "serial"},
+			},
+		},
+		Dependencies: []Dependency{
+			{Name: "cmake", Type: BuildDep},
+			{Name: "cuda", Type: LinkDep, When: spec.MustParse("kokkos backend=cuda")},
+		},
+		BuildSystem: "cmake",
+		BuildCost:   15,
+	})
+	r.MustAdd(&Package{
+		Name:        "cuda",
+		Description: "NVIDIA CUDA toolkit",
+		Versions:    vs("11.4.2", "12.1.1"),
+		Provides:    []string{"opencl"},
+		BuildSystem: "bundle",
+		BuildCost:   5,
+	})
+	r.MustAdd(&Package{
+		Name:        "pocl",
+		Description: "portable CPU OpenCL implementation",
+		Versions:    vs("3.1"),
+		Provides:    []string{"opencl"},
+		Dependencies: []Dependency{
+			{Name: "cmake", Type: BuildDep},
+		},
+		BuildSystem: "cmake",
+		BuildCost:   10,
+	})
+	r.MustAdd(&Package{
+		Name:        "intel-tbb",
+		Description: "Intel oneTBB threading runtime",
+		Versions:    vs("2020.3", "2021.9.0"),
+		Conflicts: []Conflict{
+			// §3.1: "some systems do not support using Intel TBB",
+			// specifically the aarch64 ThunderX2 nodes.
+			{When: spec.MustParse("intel-tbb target=aarch64"), Reason: "intel-tbb is not supported on aarch64"},
+		},
+		Variants: []VariantDef{
+			{Name: "target", Description: "target ISA family", Default: spec.StrVariant("x86_64"), Values: []string{"x86_64", "aarch64"}},
+		},
+		BuildSystem: "cmake",
+		BuildCost:   6,
+	})
+
+	// --- Support libraries --------------------------------------------
+
+	r.MustAdd(&Package{
+		Name:        "hwloc",
+		Description: "hardware locality library",
+		Versions:    vs("2.8.0", "2.9.1"),
+		BuildSystem: "autotools",
+		BuildCost:   4,
+	})
+	r.MustAdd(&Package{
+		Name:        "zlib",
+		Description: "compression library",
+		Versions:    vs("1.2.13"),
+		BuildSystem: "autotools",
+		BuildCost:   1,
+	})
+
+	return r
+}
+
+func vs(versions ...string) []spec.Version {
+	out := make([]spec.Version, len(versions))
+	for i, v := range versions {
+		out[i] = spec.Version(v)
+	}
+	return out
+}

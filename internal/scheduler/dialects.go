@@ -1,0 +1,65 @@
+package scheduler
+
+import (
+	"fmt"
+	"strings"
+)
+
+// slurmDialect renders sbatch scripts and nid-style node names.
+type slurmDialect struct{}
+
+func (slurmDialect) name() string { return "slurm" }
+
+func (slurmDialect) nodeName(i int) string { return fmt.Sprintf("nid%06d", i+1) }
+
+func (slurmDialect) script(j *Job, nodes, tasksPerNode int) string {
+	var b strings.Builder
+	b.WriteString("#!/bin/bash\n")
+	fmt.Fprintf(&b, "#SBATCH --job-name=%s\n", j.Name)
+	if j.Account != "" {
+		fmt.Fprintf(&b, "#SBATCH --account=%s\n", j.Account)
+	}
+	if j.QOS != "" {
+		fmt.Fprintf(&b, "#SBATCH --qos=%s\n", j.QOS)
+	}
+	fmt.Fprintf(&b, "#SBATCH --nodes=%d\n", nodes)
+	fmt.Fprintf(&b, "#SBATCH --ntasks=%d\n", j.NumTasks)
+	fmt.Fprintf(&b, "#SBATCH --ntasks-per-node=%d\n", tasksPerNode)
+	fmt.Fprintf(&b, "#SBATCH --cpus-per-task=%d\n", j.CPUsPerTask)
+	fmt.Fprintf(&b, "#SBATCH --time=%s\n", formatDuration(j.TimeLimit))
+	for _, line := range renderEnv(j.Env) {
+		b.WriteString(line + "\n")
+	}
+	b.WriteString(joinCommands(j.Commands))
+	b.WriteString("\n")
+	return b.String()
+}
+
+// pbsDialect renders qsub scripts and cn-style node names.
+type pbsDialect struct{}
+
+func (pbsDialect) name() string { return "pbs" }
+
+func (pbsDialect) nodeName(i int) string { return fmt.Sprintf("cn%04d", i+1) }
+
+func (pbsDialect) script(j *Job, nodes, tasksPerNode int) string {
+	var b strings.Builder
+	b.WriteString("#!/bin/bash\n")
+	fmt.Fprintf(&b, "#PBS -N %s\n", j.Name)
+	if j.Account != "" {
+		fmt.Fprintf(&b, "#PBS -A %s\n", j.Account)
+	}
+	if j.QOS != "" {
+		fmt.Fprintf(&b, "#PBS -q %s\n", j.QOS)
+	}
+	fmt.Fprintf(&b, "#PBS -l select=%d:ncpus=%d:mpiprocs=%d\n",
+		nodes, tasksPerNode*j.CPUsPerTask, tasksPerNode)
+	fmt.Fprintf(&b, "#PBS -l walltime=%s\n", formatDuration(j.TimeLimit))
+	for _, line := range renderEnv(j.Env) {
+		b.WriteString(line + "\n")
+	}
+	b.WriteString("cd $PBS_O_WORKDIR\n")
+	b.WriteString(joinCommands(j.Commands))
+	b.WriteString("\n")
+	return b.String()
+}

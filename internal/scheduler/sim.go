@@ -1,0 +1,338 @@
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+)
+
+// dialect captures what differs between the SLURM and PBS simulators:
+// batch-script syntax and node naming.
+type dialect interface {
+	name() string
+	nodeName(i int) string
+	script(j *Job, nodes, tasksPerNode int) string
+}
+
+// Sim is a discrete-event simulated batch scheduler over a fixed pool of
+// identical nodes. Jobs are started FIFO as soon as enough nodes are
+// free; payload durations come from the Executor. Time is virtual — a
+// Wait over a full queue completes immediately in real time.
+type Sim struct {
+	d            dialect
+	totalNodes   int
+	coresPerNode int
+	exec         Executor
+
+	// Backfill enables EASY backfilling: while the queue head waits for
+	// nodes, later jobs may start if they fit in the currently free
+	// nodes and their time limit guarantees they finish before the head
+	// job's earliest possible start.
+	Backfill bool
+
+	clock    float64 // virtual seconds since scheduler start
+	nextID   int
+	jobs     map[int]*Info
+	queue    []int           // pending job IDs, FIFO
+	running  map[int]float64 // job ID -> virtual end time
+	timedOut map[int]bool    // running jobs that will hit their limit
+	free     []string        // free node names (sorted for determinism)
+}
+
+// NewSim builds a simulated scheduler with the given dialect name
+// ("slurm" or "pbs"), node pool, and payload executor.
+func NewSim(dialectName string, totalNodes, coresPerNode int, exec Executor) (*Sim, error) {
+	var d dialect
+	switch dialectName {
+	case "slurm":
+		d = slurmDialect{}
+	case "pbs":
+		d = pbsDialect{}
+	default:
+		return nil, fmt.Errorf("scheduler: unknown dialect %q", dialectName)
+	}
+	if totalNodes <= 0 || coresPerNode <= 0 {
+		return nil, fmt.Errorf("scheduler: need positive node pool (%d nodes, %d cores)", totalNodes, coresPerNode)
+	}
+	if exec == nil {
+		return nil, fmt.Errorf("scheduler: nil executor")
+	}
+	s := &Sim{
+		d:            d,
+		totalNodes:   totalNodes,
+		coresPerNode: coresPerNode,
+		exec:         exec,
+		nextID:       1,
+		jobs:         map[int]*Info{},
+		running:      map[int]float64{},
+		timedOut:     map[int]bool{},
+	}
+	for i := 0; i < totalNodes; i++ {
+		s.free = append(s.free, d.nodeName(i))
+	}
+	return s, nil
+}
+
+// Name implements Scheduler.
+func (s *Sim) Name() string { return s.d.name() }
+
+// FreeNodes reports how many nodes are currently unallocated.
+func (s *Sim) FreeNodes() int { return len(s.free) }
+
+// Clock reports the current virtual time in seconds.
+func (s *Sim) Clock() float64 { return s.clock }
+
+// Submit implements Scheduler.
+func (s *Sim) Submit(job *Job) (int, error) {
+	if err := job.Normalize(); err != nil {
+		return 0, err
+	}
+	nodes, _, err := nodesNeeded(job, s.coresPerNode)
+	if err != nil {
+		return 0, err
+	}
+	if nodes > s.totalNodes {
+		return 0, fmt.Errorf("scheduler: job %s needs %d nodes, partition has %d", job.Name, nodes, s.totalNodes)
+	}
+	id := s.nextID
+	s.nextID++
+	s.jobs[id] = &Info{ID: id, Job: job, State: Pending, SubmitTime: s.clock}
+	s.queue = append(s.queue, id)
+	s.schedule()
+	return id, nil
+}
+
+// Poll implements Scheduler.
+func (s *Sim) Poll(id int) (*Info, error) {
+	info, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("scheduler: no job %d", id)
+	}
+	snapshot := *info
+	return &snapshot, nil
+}
+
+// Wait implements Scheduler: advance virtual time until the job is done.
+func (s *Sim) Wait(id int) (*Info, error) {
+	info, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("scheduler: no job %d", id)
+	}
+	for !info.State.Terminal() {
+		if !s.step() {
+			return nil, fmt.Errorf("scheduler: deadlock waiting for job %d (%s)", id, info.State)
+		}
+	}
+	return s.Poll(id)
+}
+
+// Drain advances the simulation until every submitted job is terminal.
+func (s *Sim) Drain() error {
+	for {
+		busy := false
+		for _, info := range s.jobs {
+			if !info.State.Terminal() {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			return nil
+		}
+		if !s.step() {
+			return fmt.Errorf("scheduler: deadlock with %d running, %d queued", len(s.running), len(s.queue))
+		}
+	}
+}
+
+// Cancel implements Scheduler.
+func (s *Sim) Cancel(id int) error {
+	info, ok := s.jobs[id]
+	if !ok {
+		return fmt.Errorf("scheduler: no job %d", id)
+	}
+	switch info.State {
+	case Pending:
+		for i, qid := range s.queue {
+			if qid == id {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+	case Running:
+		s.releaseNodes(info)
+		delete(s.running, id)
+		delete(s.timedOut, id)
+	default:
+		return fmt.Errorf("scheduler: job %d already %s", id, info.State)
+	}
+	info.State = Cancelled
+	info.EndTime = s.clock
+	return nil
+}
+
+// Script implements Scheduler.
+func (s *Sim) Script(job *Job) string {
+	j := *job
+	if err := j.Normalize(); err != nil {
+		return "# invalid job: " + err.Error()
+	}
+	nodes, tpn, err := nodesNeeded(&j, s.coresPerNode)
+	if err != nil {
+		return "# invalid job: " + err.Error()
+	}
+	return s.d.script(&j, nodes, tpn)
+}
+
+// step advances the simulation by one event: finish the earliest-ending
+// running job, then start whatever now fits. Returns false if nothing can
+// make progress.
+func (s *Sim) step() bool {
+	if len(s.running) == 0 {
+		// Nothing running; starting is the only possible progress.
+		return s.schedule()
+	}
+	// Find earliest completion.
+	bestID, bestEnd := 0, 0.0
+	first := true
+	for id, end := range s.running {
+		if first || end < bestEnd || (end == bestEnd && id < bestID) {
+			bestID, bestEnd, first = id, end, false
+		}
+	}
+	s.clock = bestEnd
+	info := s.jobs[bestID]
+	delete(s.running, bestID)
+	s.releaseNodes(info)
+	info.EndTime = s.clock
+	switch {
+	case s.timedOut[bestID]:
+		delete(s.timedOut, bestID)
+		info.State = TimedOut
+	case info.ExitCode != 0:
+		info.State = Failed
+	default:
+		info.State = Completed
+	}
+	s.schedule()
+	return true
+}
+
+// schedule starts queued jobs FIFO while nodes are available. Returns
+// true if at least one job started.
+func (s *Sim) schedule() bool {
+	started := false
+	for len(s.queue) > 0 {
+		id := s.queue[0]
+		info := s.jobs[id]
+		nodes, _, err := nodesNeeded(info.Job, s.coresPerNode)
+		if err != nil {
+			// Validated at submit; defensive.
+			s.queue = s.queue[1:]
+			info.State = Failed
+			info.Stderr = err.Error()
+			info.EndTime = s.clock
+			continue
+		}
+		if nodes > len(s.free) {
+			// The head does not fit. With backfilling enabled, later
+			// jobs may slip through; either way the head keeps its
+			// place in line.
+			if s.Backfill {
+				started = s.backfill(nodes) || started
+			}
+			break
+		}
+		s.queue = s.queue[1:]
+		s.start(id, nodes)
+		started = true
+	}
+	return started
+}
+
+// start allocates nodes and launches the payload for a queued job.
+func (s *Sim) start(id, nodes int) {
+	info := s.jobs[id]
+	alloc := s.free[:nodes]
+	s.free = s.free[nodes:]
+	info.Nodes = append([]string(nil), alloc...)
+	info.State = Running
+	info.StartTime = s.clock
+
+	res := s.exec(info.Job, info.Nodes)
+	info.Stdout = res.Stdout
+	info.Stderr = res.Stderr
+	info.ExitCode = res.ExitCode
+	dur := res.Duration.Seconds()
+	if dur <= 0 {
+		dur = 1e-6
+	}
+	if res.Duration > info.Job.TimeLimit {
+		dur = info.Job.TimeLimit.Seconds()
+		s.timedOut[id] = true
+		info.ExitCode = 1
+	}
+	s.running[id] = s.clock + dur
+}
+
+// backfill implements the EASY policy: estimate when the blocked head
+// job could start at the earliest (as running jobs release nodes), then
+// start any later queued job that fits in the free nodes now and whose
+// time limit ends before that reservation. headNeed is the head job's
+// node requirement. Returns true if any job started.
+func (s *Sim) backfill(headNeed int) bool {
+	reservation, ok := s.headStartEstimate(headNeed)
+	if !ok {
+		return false
+	}
+	started := false
+	for i := 1; i < len(s.queue); {
+		id := s.queue[i]
+		info := s.jobs[id]
+		nodes, _, err := nodesNeeded(info.Job, s.coresPerNode)
+		if err != nil {
+			i++
+			continue
+		}
+		fits := nodes <= len(s.free)
+		finishesInTime := s.clock+info.Job.TimeLimit.Seconds() <= reservation
+		if !fits || !finishesInTime {
+			i++
+			continue
+		}
+		s.queue = append(s.queue[:i], s.queue[i+1:]...)
+		s.start(id, nodes)
+		started = true
+		// Do not advance i: the next candidate shifted into position i.
+	}
+	return started
+}
+
+// headStartEstimate returns the virtual time at which headNeed nodes will
+// be available, assuming every running job runs to its recorded end.
+func (s *Sim) headStartEstimate(headNeed int) (float64, bool) {
+	avail := len(s.free)
+	if avail >= headNeed {
+		return s.clock, true
+	}
+	type release struct {
+		at    float64
+		nodes int
+	}
+	var releases []release
+	for id, end := range s.running {
+		releases = append(releases, release{at: end, nodes: len(s.jobs[id].Nodes)})
+	}
+	sort.Slice(releases, func(i, j int) bool { return releases[i].at < releases[j].at })
+	for _, r := range releases {
+		avail += r.nodes
+		if avail >= headNeed {
+			return r.at, true
+		}
+	}
+	return 0, false
+}
+
+func (s *Sim) releaseNodes(info *Info) {
+	s.free = append(s.free, info.Nodes...)
+	sort.Strings(s.free)
+}

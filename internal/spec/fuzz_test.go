@@ -1,0 +1,63 @@
+package spec
+
+import "testing"
+
+// FuzzParse hardens the spec parser: arbitrary input must either fail
+// cleanly or produce a spec whose canonical rendering re-parses to an
+// equal spec (print/parse fixpoint).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"babelstream",
+		"babelstream@4.0%gcc@9.2.0 +omp",
+		"hpcg variant=intel-avx2 %oneapi ^intel-oneapi-mkl@2023.1.0",
+		"hpgmg%gcc ^cray-mpich@8.1.23 ^python@3.10.12",
+		"a@1.2:3.4 %c@5 +x ~y k=v ^d@: ^e",
+		"p @ % ^",
+		"p+",
+		"p ^^q",
+		"@",
+		"p key==v",
+		"p\tq",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := Parse(input)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		text := s.String()
+		re, err := Parse(text)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", text, input, err)
+		}
+		if re.String() != text {
+			t.Fatalf("not a fixpoint: %q -> %q -> %q", input, text, re.String())
+		}
+	})
+}
+
+// FuzzParseVersionRange checks range parsing never panics and accepted
+// ranges render/re-parse stably.
+func FuzzParseVersionRange(f *testing.F) {
+	for _, seed := range []string{"1.2", "1.2:3.4", ":9", "9:", "a.b-c", "1..2", ":"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		r, err := ParseVersionRange(input)
+		if err != nil {
+			return
+		}
+		text := r.String()
+		if text == "" {
+			return // the any-range renders empty
+		}
+		re, err := ParseVersionRange(text)
+		if err != nil {
+			t.Fatalf("rendering %q of %q does not re-parse: %v", text, input, err)
+		}
+		if re.String() != text {
+			t.Fatalf("not a fixpoint: %q -> %q -> %q", input, text, re.String())
+		}
+	})
+}

@@ -1,0 +1,211 @@
+package spec
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// Parse reads a spec from its textual form, e.g.
+//
+//	babelstream@4.0%gcc@9.2.0 +omp backend=cuda ^kokkos@3.7+openmp
+//
+// Tokens are separated by whitespace; '^' introduces a dependency clause
+// that consumes constraints until the next '^' or end of input.
+// Dependencies parsed from the flat syntax are attached to the root, as in
+// Spack: nesting is recovered later by the concretizer.
+func Parse(text string) (*Spec, error) {
+	p := &parser{input: text}
+	s, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("spec: parsing %q: %w", text, err)
+	}
+	return s, nil
+}
+
+// MustParse is Parse for statically known-good specs; it panics on error.
+func MustParse(text string) *Spec {
+	s, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type parser struct {
+	input string
+	pos   int
+}
+
+func (p *parser) parse() (*Spec, error) {
+	p.skipSpace()
+	root, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.eof() {
+			return root, nil
+		}
+		if p.peek() != '^' {
+			return nil, fmt.Errorf("unexpected token at %q", p.rest())
+		}
+		p.pos++ // consume '^'
+		dep, err := p.parseNode()
+		if err != nil {
+			return nil, err
+		}
+		if existing, ok := root.Deps[dep.Name]; ok {
+			if err := existing.Constrain(dep); err != nil {
+				return nil, err
+			}
+		} else {
+			root.AddDep(dep)
+		}
+	}
+}
+
+// parseNode parses one package clause: name, then any number of
+// @version, %compiler, +v, ~v, -v, key=value constraints, stopping at '^'
+// or end of input.
+func (p *parser) parseNode() (*Spec, error) {
+	p.skipSpace()
+	name := p.readName()
+	if name == "" {
+		return nil, fmt.Errorf("expected package name at %q", p.rest())
+	}
+	s := New(name)
+	for {
+		p.skipSpace()
+		if p.eof() || p.peek() == '^' {
+			return s, nil
+		}
+		switch c := p.peek(); c {
+		case '@':
+			p.pos++
+			vtext := p.readVersionText()
+			vr, err := ParseVersionRange(vtext)
+			if err != nil {
+				return nil, err
+			}
+			got, ok := s.Version.Intersect(vr)
+			if !ok {
+				return nil, fmt.Errorf("%s: conflicting version constraints", name)
+			}
+			s.Version = got
+		case '%':
+			p.pos++
+			cname := p.readName()
+			if cname == "" {
+				return nil, fmt.Errorf("expected compiler name after %%")
+			}
+			comp := Compiler{Name: cname}
+			if !p.eof() && p.peek() == '@' {
+				p.pos++
+				vr, err := ParseVersionRange(p.readVersionText())
+				if err != nil {
+					return nil, err
+				}
+				comp.Version = vr
+			}
+			if !s.Compiler.IsEmpty() {
+				return nil, fmt.Errorf("%s: multiple compiler constraints", name)
+			}
+			s.Compiler = comp
+		case '+', '~', '-':
+			p.pos++
+			vname := p.readName()
+			if vname == "" {
+				return nil, fmt.Errorf("expected variant name after %q", string(c))
+			}
+			val := BoolVariant(c == '+')
+			if prev, ok := s.Variants[vname]; ok && !prev.Equal(val) {
+				return nil, fmt.Errorf("%s: conflicting settings for variant %q", name, vname)
+			}
+			s.SetVariant(vname, val)
+		default:
+			// key=value variant, or garbage.
+			key := p.readName()
+			if key == "" {
+				return nil, fmt.Errorf("unexpected character %q", string(c))
+			}
+			if p.eof() || p.peek() != '=' {
+				return nil, fmt.Errorf("expected '=' after %q", key)
+			}
+			p.pos++
+			val := p.readValue()
+			if val == "" {
+				return nil, fmt.Errorf("expected value after %q=", key)
+			}
+			sv := StrVariant(val)
+			if prev, ok := s.Variants[key]; ok && !prev.Equal(sv) {
+				return nil, fmt.Errorf("%s: conflicting settings for variant %q", name, key)
+			}
+			s.SetVariant(key, sv)
+		}
+	}
+}
+
+func (p *parser) eof() bool  { return p.pos >= len(p.input) }
+func (p *parser) peek() byte { return p.input[p.pos] }
+func (p *parser) rest() string {
+	if p.eof() {
+		return ""
+	}
+	return p.input[p.pos:]
+}
+
+func (p *parser) skipSpace() {
+	for !p.eof() && unicode.IsSpace(rune(p.input[p.pos])) {
+		p.pos++
+	}
+}
+
+// readName reads a package/variant/compiler identifier:
+// letters, digits, '-', '_' — it does not consume '=' or spec operators.
+func (p *parser) readName() string {
+	start := p.pos
+	for !p.eof() {
+		c := p.input[p.pos]
+		if isNameByte(c) {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.input[start:p.pos]
+}
+
+// readVersionText reads the characters of a version or version range.
+func (p *parser) readVersionText() string {
+	start := p.pos
+	for !p.eof() {
+		c := p.input[p.pos]
+		if isNameByte(c) || c == ':' || c == '.' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.input[start:p.pos]
+}
+
+// readValue reads a variant value: like a name but also allows ',' for
+// multi-valued variants.
+func (p *parser) readValue() string {
+	start := p.pos
+	for !p.eof() {
+		c := p.input[p.pos]
+		if isNameByte(c) || c == ',' || c == '.' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.input[start:p.pos]
+}
+
+func isNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		c == '-' || c == '_'
+}

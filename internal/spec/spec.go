@@ -1,0 +1,390 @@
+package spec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// VariantValue is the value of a variant: either a boolean toggle
+// (+omp / ~omp) or a string setting (backend=cuda).
+type VariantValue struct {
+	Bool    bool   // valid when IsBool
+	Str     string // valid when !IsBool
+	IsBool  bool
+	Default bool // set by the concretizer when the value came from a recipe default
+}
+
+// BoolVariant returns a boolean variant value.
+func BoolVariant(b bool) VariantValue { return VariantValue{Bool: b, IsBool: true} }
+
+// StrVariant returns a string variant value.
+func StrVariant(s string) VariantValue { return VariantValue{Str: s} }
+
+// Equal reports whether two variant values are the same setting.
+// The Default provenance flag is ignored.
+func (v VariantValue) Equal(w VariantValue) bool {
+	if v.IsBool != w.IsBool {
+		return false
+	}
+	if v.IsBool {
+		return v.Bool == w.Bool
+	}
+	return v.Str == w.Str
+}
+
+// Render prints the variant in spec syntax given its name:
+// "+omp", "~omp", or "model=cuda".
+func (v VariantValue) Render(name string) string {
+	if v.IsBool {
+		if v.Bool {
+			return "+" + name
+		}
+		return "~" + name
+	}
+	return name + "=" + v.Str
+}
+
+// Compiler identifies a compiler and a constraint on its version,
+// written %gcc@9.2.0 in spec syntax.
+type Compiler struct {
+	Name    string
+	Version VersionRange
+}
+
+// IsEmpty reports whether no compiler constraint is present.
+func (c Compiler) IsEmpty() bool { return c.Name == "" }
+
+// String renders the compiler in spec syntax without the leading '%'.
+func (c Compiler) String() string {
+	if c.IsEmpty() {
+		return ""
+	}
+	if c.Version.IsAny() {
+		return c.Name
+	}
+	return c.Name + "@" + c.Version.String()
+}
+
+// Satisfies reports whether a concrete compiler c meets constraint want.
+func (c Compiler) Satisfies(want Compiler) bool {
+	if want.IsEmpty() {
+		return true
+	}
+	if c.Name != want.Name {
+		return false
+	}
+	if want.Version.IsAny() {
+		return true
+	}
+	if !c.Version.IsExact() {
+		return false
+	}
+	return want.Version.Contains(c.Version.Lo)
+}
+
+// Spec is a (possibly abstract) description of a package build: the
+// package name plus constraints on version, compiler, variants and
+// dependencies. Dependencies are themselves specs, keyed by package name,
+// forming a DAG.
+type Spec struct {
+	Name     string
+	Version  VersionRange
+	Compiler Compiler
+	Variants map[string]VariantValue
+	Deps     map[string]*Spec
+
+	// Concrete marks a spec fully resolved by the concretizer: version
+	// exact, compiler pinned, all recipe variants present, dependency
+	// closure complete.
+	Concrete bool
+
+	// External records, for concrete specs, that the package was not
+	// built but taken from the system installation (a packages.yaml
+	// external in Spack terms), and where it lives.
+	External     bool
+	ExternalPath string
+}
+
+// New returns an abstract spec for the named package.
+func New(name string) *Spec {
+	return &Spec{Name: name, Variants: map[string]VariantValue{}, Deps: map[string]*Spec{}}
+}
+
+// Copy returns a deep copy of the spec DAG.
+func (s *Spec) Copy() *Spec {
+	if s == nil {
+		return nil
+	}
+	out := &Spec{
+		Name:         s.Name,
+		Version:      s.Version,
+		Compiler:     s.Compiler,
+		Concrete:     s.Concrete,
+		External:     s.External,
+		ExternalPath: s.ExternalPath,
+		Variants:     make(map[string]VariantValue, len(s.Variants)),
+		Deps:         make(map[string]*Spec, len(s.Deps)),
+	}
+	for k, v := range s.Variants {
+		out.Variants[k] = v
+	}
+	for k, d := range s.Deps {
+		out.Deps[k] = d.Copy()
+	}
+	return out
+}
+
+// SetVariant sets a variant constraint on the root package.
+func (s *Spec) SetVariant(name string, v VariantValue) *Spec {
+	if s.Variants == nil {
+		s.Variants = map[string]VariantValue{}
+	}
+	s.Variants[name] = v
+	return s
+}
+
+// AddDep attaches a dependency constraint (the ^dep syntax).
+func (s *Spec) AddDep(d *Spec) *Spec {
+	if s.Deps == nil {
+		s.Deps = map[string]*Spec{}
+	}
+	s.Deps[d.Name] = d
+	return s
+}
+
+// VariantNames returns the root's variant names in sorted order.
+func (s *Spec) VariantNames() []string {
+	names := make([]string, 0, len(s.Variants))
+	for n := range s.Variants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DepNames returns the direct dependency names in sorted order.
+func (s *Spec) DepNames() []string {
+	names := make([]string, 0, len(s.Deps))
+	for n := range s.Deps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the spec in canonical single-line syntax:
+// name@version%compiler@cver +a ~b key=val ^dep...
+// Dependencies are printed sorted by name for determinism.
+func (s *Spec) String() string {
+	var b strings.Builder
+	s.writeRoot(&b)
+	for _, dn := range s.DepNames() {
+		b.WriteString(" ^")
+		s.Deps[dn].writeFlat(&b)
+	}
+	return b.String()
+}
+
+// writeRoot renders only the root package constraints.
+func (s *Spec) writeRoot(b *strings.Builder) {
+	b.WriteString(s.Name)
+	if !s.Version.IsAny() {
+		b.WriteString("@")
+		b.WriteString(s.Version.String())
+	}
+	if !s.Compiler.IsEmpty() {
+		b.WriteString("%")
+		b.WriteString(s.Compiler.String())
+	}
+	for _, vn := range s.VariantNames() {
+		b.WriteString(" ")
+		b.WriteString(s.Variants[vn].Render(vn))
+	}
+}
+
+// writeFlat renders a dependency and, recursively, its own dependencies
+// as further ^ clauses (flattened, as Spack prints them).
+func (s *Spec) writeFlat(b *strings.Builder) {
+	s.writeRoot(b)
+	for _, dn := range s.DepNames() {
+		b.WriteString(" ^")
+		s.Deps[dn].writeFlat(b)
+	}
+}
+
+// RootString renders only the root constraints, without dependencies.
+func (s *Spec) RootString() string {
+	var b strings.Builder
+	s.writeRoot(&b)
+	return b.String()
+}
+
+// Traverse visits every spec in the DAG exactly once (root first, then
+// dependencies in sorted name order, depth-first).
+func (s *Spec) Traverse(visit func(*Spec)) {
+	seen := map[string]bool{}
+	s.traverse(visit, seen)
+}
+
+func (s *Spec) traverse(visit func(*Spec), seen map[string]bool) {
+	if seen[s.Name] {
+		return
+	}
+	seen[s.Name] = true
+	visit(s)
+	for _, dn := range s.DepNames() {
+		s.Deps[dn].traverse(visit, seen)
+	}
+}
+
+// Lookup finds a package anywhere in the spec DAG by name, returning nil
+// if absent. The root itself is found by its own name.
+func (s *Spec) Lookup(name string) *Spec {
+	var found *Spec
+	s.Traverse(func(n *Spec) {
+		if n.Name == name && found == nil {
+			found = n
+		}
+	})
+	return found
+}
+
+// Satisfies reports whether s (typically concrete) meets every constraint
+// expressed by want (typically abstract). Constraints absent from want are
+// trivially satisfied. Dependency constraints in want must be satisfied by
+// some package in s's DAG.
+func (s *Spec) Satisfies(want *Spec) bool {
+	if want == nil {
+		return true
+	}
+	if s.Name != want.Name {
+		return false
+	}
+	if !want.Version.IsAny() {
+		if !s.Version.IsExact() {
+			// Abstract-vs-abstract: ranges must at least intersect.
+			if _, ok := s.Version.Intersect(want.Version); !ok {
+				return false
+			}
+		} else if !want.Version.Contains(s.Version.Lo) {
+			return false
+		}
+	}
+	if !want.Compiler.IsEmpty() && !s.Compiler.Satisfies(want.Compiler) {
+		return false
+	}
+	for name, wv := range want.Variants {
+		sv, ok := s.Variants[name]
+		if !ok {
+			return false
+		}
+		if !sv.Equal(wv) {
+			return false
+		}
+	}
+	for name, wd := range want.Deps {
+		sd := s.Lookup(name)
+		if sd == nil || !sd.Satisfies(wd) {
+			return false
+		}
+	}
+	return true
+}
+
+// Constrain merges the constraints of other into s in place, returning an
+// error when they conflict. Both specs must name the same package.
+func (s *Spec) Constrain(other *Spec) error {
+	if other == nil {
+		return nil
+	}
+	if s.Name != other.Name {
+		return fmt.Errorf("spec: cannot constrain %q with %q", s.Name, other.Name)
+	}
+	v, ok := s.Version.Intersect(other.Version)
+	if !ok {
+		return fmt.Errorf("spec: %s: incompatible versions @%s and @%s", s.Name, s.Version, other.Version)
+	}
+	s.Version = v
+	switch {
+	case s.Compiler.IsEmpty():
+		s.Compiler = other.Compiler
+	case other.Compiler.IsEmpty():
+		// keep
+	case s.Compiler.Name != other.Compiler.Name:
+		return fmt.Errorf("spec: %s: incompatible compilers %%%s and %%%s", s.Name, s.Compiler, other.Compiler)
+	default:
+		cv, ok := s.Compiler.Version.Intersect(other.Compiler.Version)
+		if !ok {
+			return fmt.Errorf("spec: %s: incompatible compiler versions %%%s and %%%s", s.Name, s.Compiler, other.Compiler)
+		}
+		s.Compiler.Version = cv
+	}
+	for name, ov := range other.Variants {
+		if sv, ok := s.Variants[name]; ok {
+			if !sv.Equal(ov) {
+				return fmt.Errorf("spec: %s: conflicting values for variant %q", s.Name, name)
+			}
+			continue
+		}
+		s.SetVariant(name, ov)
+	}
+	for name, od := range other.Deps {
+		if sd, ok := s.Deps[name]; ok {
+			if err := sd.Constrain(od); err != nil {
+				return err
+			}
+			continue
+		}
+		s.AddDep(od.Copy())
+	}
+	return nil
+}
+
+// Equal reports whether two specs express identical constraints.
+func (s *Spec) Equal(other *Spec) bool {
+	if s == nil || other == nil {
+		return s == other
+	}
+	return s.String() == other.String() && s.Concrete == other.Concrete
+}
+
+// DAGHash returns a short stable hash identifying a concrete spec's full
+// build DAG. It is the key for the build cache and install tree, giving
+// Principle 4's "archaeological reproducibility": the hash changes iff any
+// build-relevant input changes.
+func (s *Spec) DAGHash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|concrete=%v|external=%v", s.String(), s.Concrete, s.External)
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum)[:16]
+}
+
+// Validate checks structural invariants of a spec marked concrete: exact
+// version, pinned compiler (unless external), and recursively concrete
+// dependencies.
+func (s *Spec) Validate() error {
+	if !s.Concrete {
+		return nil
+	}
+	var err error
+	s.Traverse(func(n *Spec) {
+		if err != nil {
+			return
+		}
+		if !n.Version.IsExact() {
+			err = fmt.Errorf("spec: concrete %s has non-exact version @%s", n.Name, n.Version)
+			return
+		}
+		if !n.External && !n.Concrete {
+			err = fmt.Errorf("spec: dependency %s of concrete spec is not concrete", n.Name)
+			return
+		}
+		if !n.External && !n.Compiler.IsEmpty() && !n.Compiler.Version.IsExact() {
+			err = fmt.Errorf("spec: concrete %s has unpinned compiler %%%s", n.Name, n.Compiler)
+		}
+	})
+	return err
+}

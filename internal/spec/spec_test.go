@@ -1,0 +1,377 @@
+package spec
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSimple(t *testing.T) {
+	s, err := Parse("babelstream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "babelstream" || !s.Version.IsAny() || !s.Compiler.IsEmpty() {
+		t.Errorf("unexpected spec: %+v", s)
+	}
+}
+
+func TestParseFull(t *testing.T) {
+	s, err := Parse("babelstream@4.0%gcc@9.2.0 +omp backend=cuda ~mpi ^kokkos@3.7+openmp ^cmake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "babelstream" {
+		t.Fatalf("name = %q", s.Name)
+	}
+	if got := s.Version.String(); got != "4.0" {
+		t.Errorf("version = %q", got)
+	}
+	if s.Compiler.Name != "gcc" || s.Compiler.Version.String() != "9.2.0" {
+		t.Errorf("compiler = %v", s.Compiler)
+	}
+	if v, ok := s.Variants["omp"]; !ok || !v.IsBool || !v.Bool {
+		t.Errorf("variant omp = %+v", v)
+	}
+	if v, ok := s.Variants["mpi"]; !ok || !v.IsBool || v.Bool {
+		t.Errorf("variant mpi = %+v", v)
+	}
+	if v, ok := s.Variants["backend"]; !ok || v.IsBool || v.Str != "cuda" {
+		t.Errorf("variant backend = %+v", v)
+	}
+	k, ok := s.Deps["kokkos"]
+	if !ok {
+		t.Fatal("missing kokkos dep")
+	}
+	if k.Version.String() != "3.7" {
+		t.Errorf("kokkos version = %q", k.Version)
+	}
+	if v, ok := k.Variants["openmp"]; !ok || !v.Bool {
+		t.Errorf("kokkos openmp = %+v", v)
+	}
+	if _, ok := s.Deps["cmake"]; !ok {
+		t.Error("missing cmake dep")
+	}
+}
+
+func TestParsePaperSpecs(t *testing.T) {
+	// The exact specs quoted in the paper's artifact appendix must parse.
+	for _, text := range []string{
+		"babelstream%gcc@9.2.0 +omp",
+		"hpgmg%gcc",
+		"hpcg@3.1 +matrixfree",
+		"babelstream%oneapi@2023.1.0 model=std-ranges",
+	} {
+		if _, err := Parse(text); err != nil {
+			t.Errorf("Parse(%q): %v", text, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"@1.0",
+		"pkg@",
+		"pkg%",
+		"pkg %gcc %clang",
+		"pkg +x ~x",
+		"pkg key=",
+		"pkg =v",
+		"pkg ^",
+		"pkg @1.0 @2.0",
+		"pkg backend=a backend=b",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): expected error", bad)
+		}
+	}
+}
+
+func TestParseMergesRepeatedDeps(t *testing.T) {
+	s, err := Parse("app ^mpi@4.0 ^mpi+cuda")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Deps["mpi"]
+	if m == nil {
+		t.Fatal("missing mpi")
+	}
+	if m.Version.String() != "4.0" {
+		t.Errorf("version = %q", m.Version)
+	}
+	if v, ok := m.Variants["cuda"]; !ok || !v.Bool {
+		t.Errorf("cuda variant = %+v", v)
+	}
+}
+
+func TestStringCanonical(t *testing.T) {
+	s := MustParse("app@1.0%gcc@12.1 +b +a mode=fast ^zlib@1.2 ^mpi+cuda")
+	got := s.String()
+	want := "app@1.0%gcc@12.1 +a +b mode=fast ^mpi +cuda ^zlib@1.2"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	// Property: Parse(s.String()).String() == s.String() for randomly
+	// generated specs.
+	gen := func(r *rand.Rand) *Spec {
+		names := []string{"app", "lib", "tool"}
+		s := New(names[r.Intn(len(names))])
+		if r.Intn(2) == 0 {
+			s.Version = ExactVersion(Version(randVer(r)))
+		}
+		if r.Intn(2) == 0 {
+			s.Compiler = Compiler{Name: "gcc", Version: ExactVersion(Version(randVer(r)))}
+		}
+		for i := 0; i < r.Intn(3); i++ {
+			name := string(rune('a' + r.Intn(26)))
+			if r.Intn(2) == 0 {
+				s.SetVariant(name, BoolVariant(r.Intn(2) == 0))
+			} else {
+				s.SetVariant(name, StrVariant(randVer(r)))
+			}
+		}
+		for i := 0; i < r.Intn(3); i++ {
+			d := New("dep" + string(rune('a'+i)))
+			if r.Intn(2) == 0 {
+				d.Version = ExactVersion(Version(randVer(r)))
+			}
+			s.AddDep(d)
+		}
+		return s
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := gen(r)
+		text := s.String()
+		re, err := Parse(text)
+		if err != nil {
+			t.Logf("round trip parse of %q failed: %v", text, err)
+			return false
+		}
+		return re.String() == text
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randVer(r *rand.Rand) string {
+	parts := make([]string, 1+r.Intn(3))
+	for i := range parts {
+		parts[i] = string(rune('0' + r.Intn(10)))
+	}
+	return strings.Join(parts, ".")
+}
+
+func TestSatisfies(t *testing.T) {
+	concrete := MustParse("babelstream@4.0%gcc@9.2.0 +omp model=omp ^cmake@3.24.2")
+	concrete.Concrete = true
+	cases := []struct {
+		want string
+		ok   bool
+	}{
+		{"babelstream", true},
+		{"babelstream@4.0", true},
+		{"babelstream@3.0:5.0", true},
+		{"babelstream@5.0", false},
+		{"babelstream%gcc", true},
+		{"babelstream%gcc@9.2", true},
+		{"babelstream%gcc@10:", false},
+		{"babelstream%clang", false},
+		{"babelstream +omp", true},
+		{"babelstream ~omp", false},
+		{"babelstream model=omp", true},
+		{"babelstream model=cuda", false},
+		{"babelstream ^cmake", true},
+		{"babelstream ^cmake@3.24", true},
+		{"babelstream ^cmake@3.25", false},
+		{"other", false},
+	}
+	for _, c := range cases {
+		w := MustParse(c.want)
+		if got := concrete.Satisfies(w); got != c.ok {
+			t.Errorf("Satisfies(%q) = %v, want %v", c.want, got, c.ok)
+		}
+	}
+}
+
+func TestSatisfiesNil(t *testing.T) {
+	s := MustParse("x@1.0")
+	if !s.Satisfies(nil) {
+		t.Error("every spec satisfies nil")
+	}
+}
+
+func TestConstrain(t *testing.T) {
+	a := MustParse("app@1.0:2.0 +x")
+	b := MustParse("app@1.5: %gcc ~y ^mpi@4:")
+	if err := a.Constrain(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Version.String(); got != "1.5:2.0" {
+		t.Errorf("version = %q", got)
+	}
+	if a.Compiler.Name != "gcc" {
+		t.Errorf("compiler = %v", a.Compiler)
+	}
+	if v := a.Variants["x"]; !v.Bool {
+		t.Error("+x lost")
+	}
+	if v := a.Variants["y"]; v.Bool {
+		t.Error("~y lost")
+	}
+	if a.Deps["mpi"] == nil {
+		t.Error("mpi dep lost")
+	}
+}
+
+func TestConstrainConflicts(t *testing.T) {
+	cases := [][2]string{
+		{"app@1.0", "app@2.0"},
+		{"app%gcc", "app%clang"},
+		{"app%gcc@9", "app%gcc@12"},
+		{"app+x", "app~x"},
+		{"app m=a", "app m=b"},
+		{"app ^mpi@4", "app ^mpi@5"},
+	}
+	for _, c := range cases {
+		a, b := MustParse(c[0]), MustParse(c[1])
+		if err := a.Constrain(b); err == nil {
+			t.Errorf("Constrain(%q, %q): expected conflict", c[0], c[1])
+		}
+	}
+	a := MustParse("app")
+	if err := a.Constrain(MustParse("other")); err == nil {
+		t.Error("constraining different packages must fail")
+	}
+}
+
+func TestConstrainSatisfiesBoth(t *testing.T) {
+	// Property: after a successful Constrain(a, b), a satisfies b's
+	// root-level constraints (for exact-version merges).
+	a := MustParse("app@1.5%gcc@9.2.0 +x")
+	b := MustParse("app +y mode=fast")
+	orig := a.Copy()
+	if err := a.Constrain(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Satisfies(b) {
+		t.Errorf("constrained spec %q does not satisfy %q", a, b)
+	}
+	if !a.Satisfies(orig) {
+		t.Errorf("constrained spec %q does not satisfy original %q", a, orig)
+	}
+}
+
+func TestCopyIsDeep(t *testing.T) {
+	a := MustParse("app@1.0 +x ^mpi@4.0")
+	b := a.Copy()
+	b.SetVariant("x", BoolVariant(false))
+	b.Deps["mpi"].Version = ExactVersion("5.0")
+	if !a.Variants["x"].Bool {
+		t.Error("Copy shares variants map")
+	}
+	if a.Deps["mpi"].Version.String() != "4.0" {
+		t.Error("Copy shares dependency specs")
+	}
+}
+
+func TestDAGHashStability(t *testing.T) {
+	a := MustParse("app@1.0%gcc@12.1 +x ^mpi@4.0")
+	b := MustParse("app@1.0%gcc@12.1 +x ^mpi@4.0")
+	if a.DAGHash() != b.DAGHash() {
+		t.Error("identical specs must hash identically")
+	}
+	c := MustParse("app@1.0%gcc@12.1 ~x ^mpi@4.0")
+	if a.DAGHash() == c.DAGHash() {
+		t.Error("differing variants must change the hash")
+	}
+	d := MustParse("app@1.0%gcc@12.1 +x ^mpi@4.0.1")
+	if a.DAGHash() == d.DAGHash() {
+		t.Error("differing dependency versions must change the hash")
+	}
+	if n := len(a.DAGHash()); n != 16 {
+		t.Errorf("hash length = %d, want 16", n)
+	}
+}
+
+func TestLookupAndTraverse(t *testing.T) {
+	s := MustParse("app ^mpi@4.0 ^zlib")
+	if s.Lookup("app") != s {
+		t.Error("Lookup of root should return root")
+	}
+	if s.Lookup("mpi") == nil || s.Lookup("zlib") == nil {
+		t.Error("Lookup misses dependencies")
+	}
+	if s.Lookup("nothere") != nil {
+		t.Error("Lookup invents packages")
+	}
+	var order []string
+	s.Traverse(func(n *Spec) { order = append(order, n.Name) })
+	want := []string{"app", "mpi", "zlib"}
+	if len(order) != len(want) {
+		t.Fatalf("traverse visited %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("traverse order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := MustParse("app@1.0%gcc@12.1 ^mpi@4.0%gcc@12.1")
+	ok.Concrete = true
+	ok.Deps["mpi"].Concrete = true
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid concrete spec rejected: %v", err)
+	}
+
+	bad := MustParse("app@1.0:2.0")
+	bad.Concrete = true
+	if err := bad.Validate(); err == nil {
+		t.Error("non-exact version accepted as concrete")
+	}
+
+	bad2 := MustParse("app@1.0 ^mpi@4.0")
+	bad2.Concrete = true
+	if err := bad2.Validate(); err == nil {
+		t.Error("non-concrete dependency accepted")
+	}
+
+	abstract := MustParse("app@1.0:2.0")
+	if err := abstract.Validate(); err != nil {
+		t.Errorf("abstract specs are always valid: %v", err)
+	}
+}
+
+func TestExternalSpecValidate(t *testing.T) {
+	s := MustParse("cray-mpich@8.1.23")
+	s.Concrete = true
+	s.External = true
+	s.ExternalPath = "/opt/cray/pe/mpich/8.1.23"
+	if err := s.Validate(); err != nil {
+		t.Errorf("external concrete spec rejected: %v", err)
+	}
+}
+
+func TestCompilerSatisfies(t *testing.T) {
+	gcc92 := Compiler{Name: "gcc", Version: ExactVersion("9.2.0")}
+	if !gcc92.Satisfies(Compiler{}) {
+		t.Error("empty constraint always satisfied")
+	}
+	if !gcc92.Satisfies(Compiler{Name: "gcc"}) {
+		t.Error("name-only constraint")
+	}
+	if !gcc92.Satisfies(Compiler{Name: "gcc", Version: VersionRange{Lo: "9"}}) {
+		t.Error("range constraint")
+	}
+	if gcc92.Satisfies(Compiler{Name: "clang"}) {
+		t.Error("wrong compiler accepted")
+	}
+}

@@ -1,0 +1,101 @@
+// Package team provides the synchronisation primitives the distributed
+// benchmark apps use to emulate an MPI rank team with goroutines: a
+// reusable cyclic barrier and sum/max allreduces. Channel-based, so every
+// collective establishes the happens-before edges a real message-passing
+// library would.
+package team
+
+import "sync"
+
+// Barrier is a reusable cyclic barrier for N goroutines.
+type Barrier struct {
+	n  int
+	mu sync.Mutex
+	c  chan struct{}
+	in int
+}
+
+// NewBarrier returns a barrier for n participants.
+func NewBarrier(n int) *Barrier {
+	return &Barrier{n: n, c: make(chan struct{})}
+}
+
+// Await blocks until all n participants have called Await.
+func (b *Barrier) Await() {
+	b.mu.Lock()
+	b.in++
+	if b.in == b.n {
+		b.in = 0
+		old := b.c
+		b.c = make(chan struct{})
+		b.mu.Unlock()
+		close(old)
+		return
+	}
+	c := b.c
+	b.mu.Unlock()
+	<-c
+}
+
+// Reducer provides allreduce collectives over a rank team. A single
+// Reducer may be reused for any number of sequential collectives, as long
+// as every rank participates in every call (SPMD discipline).
+type Reducer struct {
+	b       *Barrier
+	partial []float64
+	result  float64
+}
+
+// NewReducer returns a reducer for n ranks.
+func NewReducer(n int) *Reducer {
+	return &Reducer{b: NewBarrier(n), partial: make([]float64, n)}
+}
+
+// Sum combines every rank's value and returns the global sum to all.
+func (r *Reducer) Sum(rank int, v float64) float64 {
+	r.partial[rank] = v
+	r.b.Await()
+	if rank == 0 {
+		sum := 0.0
+		for _, p := range r.partial {
+			sum += p
+		}
+		r.result = sum
+	}
+	r.b.Await()
+	return r.result
+}
+
+// Max combines every rank's value and returns the global maximum to all.
+func (r *Reducer) Max(rank int, v float64) float64 {
+	r.partial[rank] = v
+	r.b.Await()
+	max := r.partial[0]
+	for _, p := range r.partial[1:] {
+		if p > max {
+			max = p
+		}
+	}
+	r.b.Await()
+	return max
+}
+
+// Halo carries the channel pair between two adjacent ranks in a 1-D
+// decomposition.
+type Halo struct {
+	// ToUpper carries the lower rank's top plane to the upper rank;
+	// ToLower the upper rank's bottom plane to the lower rank.
+	ToUpper chan []float64
+	ToLower chan []float64
+}
+
+// NewHalos builds the n-1 interfaces of an n-rank 1-D decomposition.
+// Channels are buffered so the send-all-then-receive-all exchange pattern
+// cannot deadlock regardless of rank scheduling.
+func NewHalos(n int) []*Halo {
+	out := make([]*Halo, n-1)
+	for i := range out {
+		out[i] = &Halo{ToUpper: make(chan []float64, 1), ToLower: make(chan []float64, 1)}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package team
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBarrierLockstep(t *testing.T) {
+	const n, rounds = 8, 50
+	b := NewBarrier(n)
+	counter := make([]int, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				counter[r]++
+				b.Await()
+				// Between barriers every participant must have the
+				// same count — lockstep.
+				for other := 0; other < n; other++ {
+					if counter[other] != round+1 {
+						t.Errorf("rank %d saw rank %d at %d in round %d", r, other, counter[other], round)
+						return
+					}
+				}
+				b.Await()
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestReducerSumAndMax(t *testing.T) {
+	const n = 5
+	red := NewReducer(n)
+	maxRed := NewReducer(n)
+	sums := make([]float64, n)
+	maxes := make([]float64, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sums[r] = red.Sum(r, float64(r))        // 0+1+2+3+4 = 10
+			maxes[r] = maxRed.Max(r, float64(10-r)) // max(10,9,8,7,6) = 10
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < n; r++ {
+		if sums[r] != 10 {
+			t.Errorf("rank %d sum = %g", r, sums[r])
+		}
+		if maxes[r] != 10 {
+			t.Errorf("rank %d max = %g", r, maxes[r])
+		}
+	}
+}
+
+func TestReducerReusableAcrossCollectives(t *testing.T) {
+	const n = 3
+	red := NewReducer(n)
+	out := make([]float64, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			v := 1.0
+			for i := 0; i < 100; i++ {
+				v = red.Sum(r, v) / float64(n) // stays 1.0 forever
+			}
+			out[r] = v
+		}(r)
+	}
+	wg.Wait()
+	for r, v := range out {
+		if v != 1.0 {
+			t.Errorf("rank %d drifted to %g", r, v)
+		}
+	}
+}
+
+func TestNewHalos(t *testing.T) {
+	hs := NewHalos(4)
+	if len(hs) != 3 {
+		t.Fatalf("interfaces = %d", len(hs))
+	}
+	for _, h := range hs {
+		if cap(h.ToUpper) != 1 || cap(h.ToLower) != 1 {
+			t.Error("halo channels must be buffered for deadlock freedom")
+		}
+	}
+	if hs := NewHalos(1); len(hs) != 0 {
+		t.Errorf("single rank needs no halos, got %d", len(hs))
+	}
+}

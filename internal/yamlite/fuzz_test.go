@@ -1,0 +1,43 @@
+package yamlite
+
+import "testing"
+
+// FuzzParse ensures the YAML-subset parser never panics and that
+// successfully parsed documents have well-formed value types.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"a: 1\nb:\n  c: x\n",
+		"- 1\n- two\n-\n  k: v\n",
+		"key: 'quo''ted' # comment\n",
+		"a:\n - 1\n  - 2\n",
+		": x\n",
+		"\t: 1\n",
+		"a: \"unterminated\n",
+		"filters:\n  - column: c\n    op: ==\n    value: pass\n",
+	} {
+		f.Add(seed)
+	}
+	var check func(t *testing.T, v Value)
+	check = func(t *testing.T, v Value) {
+		switch x := v.(type) {
+		case nil, string, int64, float64, bool:
+		case map[string]Value:
+			for _, inner := range x {
+				check(t, inner)
+			}
+		case []Value:
+			for _, inner := range x {
+				check(t, inner)
+			}
+		default:
+			t.Fatalf("unexpected value type %T", v)
+		}
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		v, err := Parse(input)
+		if err != nil {
+			return
+		}
+		check(t, v)
+	})
+}

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/buildsys"
 	"repro/internal/core"
 	"repro/internal/dataframe"
 	"repro/internal/fom"
@@ -146,6 +147,9 @@ func cmdRun(args []string, scriptOnly bool) error {
 				fmt.Println("  " + s)
 			}
 		}
+		fmt.Printf("build:     %s (simulated %.1fs, root %s)\n",
+			buildsys.Summary(report.Builds), report.BuildTime.Seconds(),
+			report.Builds[len(report.Builds)-1].State())
 		fmt.Printf("job:       #%d %s (%.3fs queued, %.3fs run)\n",
 			report.Job.ID, report.Job.State, report.Job.QueueWait(), report.Job.Runtime())
 		if !report.Pass() {

@@ -122,15 +122,14 @@ func cmdConcretize(args []string, install bool) error {
 		return err
 	}
 	for _, r := range records {
-		state := "built"
-		switch {
-		case r.External:
-			state = "external"
-		case r.Cached:
-			state = "cached"
+		elapsed := ""
+		if !r.Cached && !r.External {
+			elapsed = fmt.Sprintf("  (%.1fs)", r.Elapsed.Seconds())
 		}
-		fmt.Printf("  %-9s %-40s %s\n", state, r.SpecText, r.Prefix)
+		fmt.Printf("  %-9s %-40s %s%s\n", r.State(), r.SpecText, r.Prefix, elapsed)
 	}
+	fmt.Printf("%s; simulated build time %.1fs\n",
+		buildsys.Summary(records), buildsys.TotalBuildTime(records).Seconds())
 	return nil
 }
 

@@ -76,6 +76,65 @@ func TestInstallCommand(t *testing.T) {
 	}
 }
 
+// TestInstallEndToEnd walks the full spec → concretize → install →
+// cached-reinstall path in a temp tree, as a user would drive it.
+func TestInstallEndToEnd(t *testing.T) {
+	tree := filepath.Join(t.TempDir(), "tree")
+	args := []string{"install", "--system", "archer2", "--tree", tree, "babelstream model=omp"}
+
+	// Cold tree: everything builds, nothing is cached.
+	out, err := capture(t, func() error { return run(args) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"babelstream@4.0", "hash:", "built", "simulated build time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cold install missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "cached") && !strings.Contains(out, "0 cached") {
+		t.Errorf("cold install reported cached entries:\n%s", out)
+	}
+
+	// Each installed prefix carries its build manifest (Principle 4).
+	entries, err := os.ReadDir(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifests := 0
+	for _, e := range entries {
+		if _, err := os.Stat(filepath.Join(tree, e.Name(), "manifest.json")); err == nil {
+			manifests++
+		}
+	}
+	if manifests == 0 {
+		t.Errorf("no build manifests under %s (entries %v)", tree, entries)
+	}
+
+	// Warm tree: the same install is answered from the cache.
+	out, err = capture(t, func() error { return run(args) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cached") || !strings.Contains(out, "0 built") {
+		t.Errorf("reinstall not served from cache:\n%s", out)
+	}
+	if !strings.Contains(out, "simulated build time 0.0s") {
+		t.Errorf("cached reinstall charges build time:\n%s", out)
+	}
+
+	// A different spec misses the cache and builds its own root prefix.
+	out, err = capture(t, func() error {
+		return run([]string{"install", "--system", "archer2", "--tree", tree, "babelstream model=kokkos"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "built") || strings.Contains(out, "0 built") {
+		t.Errorf("changed spec should rebuild:\n%s", out)
+	}
+}
+
 func TestListAndProviders(t *testing.T) {
 	out, err := capture(t, func() error { return run([]string{"list"}) })
 	if err != nil {

@@ -40,6 +40,10 @@ func main() {
 	}
 	fmt.Printf("spec:   %s\n", report.Spec.RootString())
 	fmt.Printf("status: %s\n", report.Job.State)
+	fmt.Println("build records (Principle 3: the root rebuilds every run):")
+	for _, rec := range report.Builds {
+		fmt.Printf("  %-9s %s\n", rec.State(), rec.SpecText)
+	}
 	fmt.Println("figures of merit:")
 	fmt.Print(fom.Table(report.FOMs))
 

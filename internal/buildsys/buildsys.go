@@ -1,0 +1,341 @@
+// Package buildsys is the framework's build-and-install layer: the role
+// Spack's build stage plays in the paper. It turns a *concrete* spec DAG
+// (the concretizer's output) into a populated install tree, one prefix
+// per package keyed by the spec's DAG hash.
+//
+// The package carries three of the paper's principles:
+//
+//   - Principle 2 (teach the build system): BuildCommands renders each
+//     recipe's BuildSystem ("cmake", "make", "autotools", "bundle") into
+//     the command script that would produce the binary.
+//   - Principle 3 (rebuild every run): Builder.RebuildEveryRun forces the
+//     root package to be rebuilt even on a cache hit, so "the steps to
+//     reproduce the binary are known" for every result.
+//   - Principle 4 (capture all build steps): every built prefix carries a
+//     JSON manifest recording the spec, its hash, the exact commands, the
+//     dependency hashes, and the simulated build duration.
+//
+// Builds are simulated — no compiler runs — but the install tree, the
+// cache semantics, and the provenance records are real: prefixes are
+// created atomically (stage + rename), guarded by per-prefix locks so
+// concurrent Installs into a shared tree are race-clean, and independent
+// DAG nodes build concurrently over a bounded goroutine worker pool, the
+// way Spack's `install -j` parallelises over the DAG.
+package buildsys
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/repo"
+	"repro/internal/spec"
+)
+
+// Record is the provenance of one package installation: what was asked
+// for, where it landed, and whether this Install actually built it.
+type Record struct {
+	// SpecText is the package's root constraints in spec syntax.
+	SpecText string
+	// Prefix is the installation directory (the external's own path for
+	// external packages).
+	Prefix string
+	// Cached is true when a previous build satisfied the request and no
+	// rebuild happened.
+	Cached bool
+	// External is true when the package came from the system installation
+	// rather than the build system (never built, never cached).
+	External bool
+	// Elapsed is the simulated build duration spent by *this* Install;
+	// zero for cached and external packages.
+	Elapsed time.Duration
+	// Hash is the spec's DAG hash — the install-tree cache key.
+	Hash string
+	// Steps is the build command script (see BuildCommands).
+	Steps []string
+}
+
+// State names the record's disposition: "built", "cached" or "external".
+func (r *Record) State() string {
+	switch {
+	case r.External:
+		return "external"
+	case r.Cached:
+		return "cached"
+	default:
+		return "built"
+	}
+}
+
+// TotalBuildTime sums the simulated build time actually spent by an
+// Install — cached and external records cost nothing. This is the E9
+// ablation's metric: the price of RebuildEveryRun over trusting the cache.
+func TotalBuildTime(records []*Record) time.Duration {
+	var total time.Duration
+	for _, r := range records {
+		if r == nil || r.Cached || r.External {
+			continue
+		}
+		total += r.Elapsed
+	}
+	return total
+}
+
+// Summary renders the records' dispositions as "N built, N cached,
+// N external" for CLI output and perflog extras.
+func Summary(records []*Record) string {
+	var built, cached, external int
+	for _, r := range records {
+		if r == nil {
+			continue
+		}
+		switch {
+		case r.External:
+			external++
+		case r.Cached:
+			cached++
+		default:
+			built++
+		}
+	}
+	return fmt.Sprintf("%d built, %d cached, %d external", built, cached, external)
+}
+
+// Builder installs concrete specs into an install tree.
+type Builder struct {
+	// InstallTree is the root directory of the build cache; one prefix
+	// per package, named name-version-hash.
+	InstallTree string
+	// Repo supplies the build recipes.
+	Repo *repo.Repository
+	// RebuildEveryRun enforces Principle 3: the root package is rebuilt
+	// even when its prefix is already in the tree. Dependencies still
+	// come from the cache — the binary under test is always fresh, its
+	// toolchain closure is reused.
+	RebuildEveryRun bool
+	// Workers bounds the goroutine pool building independent DAG nodes
+	// concurrently (defaults to min(NumCPU, 8)).
+	Workers int
+}
+
+// NewBuilder returns a Builder over the given install tree and recipe
+// repository.
+func NewBuilder(installTree string, r *repo.Repository) *Builder {
+	return &Builder{InstallTree: installTree, Repo: r}
+}
+
+func (b *Builder) workers() int {
+	if b.Workers > 0 {
+		return b.Workers
+	}
+	n := runtime.NumCPU()
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Prefix returns the install prefix a concrete spec maps to.
+func (b *Builder) Prefix(s *spec.Spec) string {
+	return filepath.Join(b.InstallTree, fmt.Sprintf("%s-%s-%s", s.Name, s.Version.String(), s.DAGHash()))
+}
+
+// prefixLocks serialises installs into the same prefix across every
+// Builder in the process, so concurrent Installs sharing a tree never
+// race on a prefix. (Cross-process safety comes from the atomic
+// stage-and-rename install below.)
+var prefixLocks sync.Map // cleaned prefix path -> *sync.Mutex
+
+func lockPrefix(prefix string) *sync.Mutex {
+	m, _ := prefixLocks.LoadOrStore(filepath.Clean(prefix), &sync.Mutex{})
+	return m.(*sync.Mutex)
+}
+
+// Install walks the concrete spec's dependency DAG in topological order
+// and installs every package, returning one Record per DAG node in
+// dependency-before-dependent order with the root last. Nodes whose
+// dependencies are all installed build concurrently on the worker pool.
+func (b *Builder) Install(root *spec.Spec) ([]*Record, error) {
+	if root == nil {
+		return nil, fmt.Errorf("buildsys: nil spec")
+	}
+	if !root.Concrete && !root.External {
+		return nil, fmt.Errorf("buildsys: spec %q is not concrete — concretize it first", root.RootString())
+	}
+	if err := root.Validate(); err != nil {
+		return nil, fmt.Errorf("buildsys: %w", err)
+	}
+	if b.Repo == nil {
+		return nil, fmt.Errorf("buildsys: builder has no recipe repository")
+	}
+	if b.InstallTree == "" {
+		return nil, fmt.Errorf("buildsys: builder has no install tree")
+	}
+	if err := os.MkdirAll(b.InstallTree, 0o755); err != nil {
+		return nil, fmt.Errorf("buildsys: %w", err)
+	}
+
+	// Deterministic post-order: dependencies before dependents, root
+	// last (the Runner takes records[len-1] as the benchmark's build).
+	var order []*spec.Spec
+	seen := map[string]bool{}
+	var walk func(*spec.Spec)
+	walk = func(s *spec.Spec) {
+		if seen[s.Name] {
+			return
+		}
+		seen[s.Name] = true
+		for _, dn := range s.DepNames() {
+			walk(s.Deps[dn])
+		}
+		order = append(order, s)
+	}
+	walk(root)
+
+	// Build in topological waves: every node whose dependencies are
+	// already installed is independent of the rest of its wave, so the
+	// wave runs concurrently under the bounded worker pool.
+	installed := map[string]*Record{}
+	for len(installed) < len(order) {
+		var wave []*spec.Spec
+		for _, s := range order {
+			if installed[s.Name] != nil {
+				continue
+			}
+			ready := true
+			for _, dn := range s.DepNames() {
+				if installed[dn] == nil {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				wave = append(wave, s)
+			}
+		}
+		if len(wave) == 0 {
+			return nil, fmt.Errorf("buildsys: dependency cycle in %q", root.RootString())
+		}
+		recs := make([]*Record, len(wave))
+		errs := make([]error, len(wave))
+		sem := make(chan struct{}, b.workers())
+		var wg sync.WaitGroup
+		for i, s := range wave {
+			wg.Add(1)
+			go func(i int, s *spec.Spec) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				recs[i], errs[i] = b.installNode(s, s == root)
+			}(i, s)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+			installed[wave[i].Name] = recs[i]
+		}
+	}
+
+	out := make([]*Record, 0, len(order))
+	for _, s := range order {
+		out = append(out, installed[s.Name])
+	}
+	return out, nil
+}
+
+// installNode installs one DAG node, consulting the cache first.
+func (b *Builder) installNode(s *spec.Spec, isRoot bool) (*Record, error) {
+	if s.External {
+		// System-provided installation: nothing to build (the paper's
+		// packages.yaml externals). Its path is its prefix.
+		return &Record{SpecText: s.RootString(), Prefix: s.ExternalPath, External: true, Hash: s.DAGHash()}, nil
+	}
+	pkg, err := b.Repo.Get(s.Name)
+	if err != nil {
+		return nil, fmt.Errorf("buildsys: %w", err)
+	}
+	steps, err := BuildCommands(pkg, s)
+	if err != nil {
+		return nil, err
+	}
+	hash := s.DAGHash()
+	prefix := b.Prefix(s)
+
+	lock := lockPrefix(prefix)
+	lock.Lock()
+	defer lock.Unlock()
+
+	if !(isRoot && b.RebuildEveryRun) {
+		if m, err := ReadManifest(prefix); err == nil && m.Hash == hash {
+			return &Record{SpecText: s.RootString(), Prefix: prefix, Cached: true, Hash: hash, Steps: m.Commands}, nil
+		}
+	}
+
+	elapsed := SimulatedBuildTime(pkg)
+	m := &Manifest{
+		Spec:         s.String(),
+		Root:         s.RootString(),
+		Hash:         hash,
+		BuildSystem:  pkg.BuildSystem,
+		Commands:     steps,
+		ElapsedS:     elapsed.Seconds(),
+		Dependencies: map[string]string{},
+		CreatedAt:    time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, dn := range s.DepNames() {
+		m.Dependencies[dn] = s.Deps[dn].DAGHash()
+	}
+	if err := b.stageInstall(s, prefix, m); err != nil {
+		return nil, err
+	}
+	return &Record{SpecText: s.RootString(), Prefix: prefix, Elapsed: elapsed, Hash: hash, Steps: steps}, nil
+}
+
+// stageInstall materialises the prefix atomically: populate a staging
+// directory beside it, then rename into place, so readers never observe
+// a half-written prefix even across processes.
+func (b *Builder) stageInstall(s *spec.Spec, prefix string, m *Manifest) error {
+	stage, err := os.MkdirTemp(b.InstallTree, ".stage-"+s.Name+"-")
+	if err != nil {
+		return fmt.Errorf("buildsys: %w", err)
+	}
+	defer os.RemoveAll(stage)
+	if err := os.MkdirAll(filepath.Join(stage, "bin"), 0o755); err != nil {
+		return fmt.Errorf("buildsys: %w", err)
+	}
+	// The simulated binary: the executable path the Runner launches,
+	// carrying the provenance hash it was "compiled" from.
+	exe := fmt.Sprintf("#!/bin/sh\n# simulated build of %s (dag hash %s)\n", m.Root, m.Hash)
+	if err := os.WriteFile(filepath.Join(stage, "bin", s.Name), []byte(exe), 0o755); err != nil {
+		return fmt.Errorf("buildsys: %w", err)
+	}
+	if err := WriteManifest(stage, m); err != nil {
+		return err
+	}
+	if err := os.RemoveAll(prefix); err != nil {
+		return fmt.Errorf("buildsys: %w", err)
+	}
+	if err := os.Rename(stage, prefix); err != nil {
+		return fmt.Errorf("buildsys: %w", err)
+	}
+	return nil
+}
+
+// SimulatedBuildTime derives the deterministic build duration from the
+// recipe's dimensionless BuildCost (one cost unit = one second). No real
+// time passes — Install records the figure without sleeping, which is
+// what lets E9 measure the rebuild-every-run ablation instantly.
+func SimulatedBuildTime(pkg *repo.Package) time.Duration {
+	if pkg.BuildCost <= 0 {
+		return 0
+	}
+	return time.Duration(pkg.BuildCost * float64(time.Second))
+}

@@ -1,0 +1,345 @@
+package buildsys
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/concretize"
+	"repro/internal/env"
+	"repro/internal/repo"
+	"repro/internal/spec"
+)
+
+// concretized resolves a spec text against a builtin system environment,
+// exactly as the Runner does before handing the DAG to the builder.
+func concretized(t *testing.T, system, text string) *spec.Spec {
+	t.Helper()
+	builtin := repo.Builtin()
+	cfg := env.UKRegistry().ForSystem(system)
+	res, err := concretize.Concretize(spec.MustParse(text), cfg.ConcretizeOptions(builtin, "x86_64"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Spec
+}
+
+func TestInstallPopulatesTree(t *testing.T) {
+	tree := t.TempDir()
+	b := NewBuilder(tree, repo.Builtin())
+	s := concretized(t, "archer2", "babelstream model=omp")
+	records, err := b.Install(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) < 2 {
+		t.Fatalf("records = %d, want the root and its closure", len(records))
+	}
+	// Root last, dependencies before dependents.
+	root := records[len(records)-1]
+	if !strings.HasPrefix(root.SpecText, "babelstream@") {
+		t.Errorf("last record = %q, want the root", root.SpecText)
+	}
+	// Every built record has a live prefix with the simulated binary and
+	// a manifest; the root's binary is what the Runner launches.
+	for _, r := range records {
+		if r.External {
+			if r.Cached {
+				t.Errorf("%s: external record marked cached", r.SpecText)
+			}
+			continue
+		}
+		if r.Cached {
+			t.Errorf("%s: cached on a cold tree", r.SpecText)
+		}
+		name := strings.SplitN(r.SpecText, "@", 2)[0]
+		if _, err := os.Stat(filepath.Join(r.Prefix, "bin", name)); err != nil {
+			t.Errorf("%s: missing binary: %v", r.SpecText, err)
+		}
+		if _, err := os.Stat(filepath.Join(r.Prefix, ManifestName)); err != nil {
+			t.Errorf("%s: missing manifest: %v", r.SpecText, err)
+		}
+		if r.Elapsed <= 0 {
+			t.Errorf("%s: built record has no simulated elapsed", r.SpecText)
+		}
+		if len(r.Steps) == 0 {
+			t.Errorf("%s: no build steps recorded", r.SpecText)
+		}
+	}
+	if TotalBuildTime(records) <= 0 {
+		t.Error("cold install reports zero build time")
+	}
+}
+
+func TestInstallCacheHit(t *testing.T) {
+	tree := t.TempDir()
+	b := NewBuilder(tree, repo.Builtin())
+	s := concretized(t, "archer2", "babelstream model=omp")
+	if _, err := b.Install(s); err != nil {
+		t.Fatal(err)
+	}
+	records, err := b.Install(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range records {
+		if r.External {
+			continue
+		}
+		if !r.Cached {
+			t.Errorf("%s: rebuilt on a warm tree", r.SpecText)
+		}
+		if r.Elapsed != 0 {
+			t.Errorf("%s: cached record charges %v build time", r.SpecText, r.Elapsed)
+		}
+		if len(r.Steps) == 0 {
+			t.Errorf("%s: cached record lost its command provenance", r.SpecText)
+		}
+	}
+	if got := TotalBuildTime(records); got != 0 {
+		t.Errorf("warm TotalBuildTime = %v, want 0", got)
+	}
+}
+
+func TestCacheMissOnChangedSpec(t *testing.T) {
+	tree := t.TempDir()
+	b := NewBuilder(tree, repo.Builtin())
+	if _, err := b.Install(concretized(t, "archer2", "babelstream model=omp")); err != nil {
+		t.Fatal(err)
+	}
+	// A different variant is a different DAG hash: a fresh prefix, not a
+	// cache hit on the omp build.
+	records, err := b.Install(concretized(t, "archer2", "babelstream model=kokkos"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := records[len(records)-1]
+	if root.Cached {
+		t.Error("model=kokkos hit the model=omp cache entry")
+	}
+}
+
+func TestRebuildEveryRunForcesRootRebuild(t *testing.T) {
+	tree := t.TempDir()
+	b := NewBuilder(tree, repo.Builtin())
+	s := concretized(t, "archer2", "babelstream model=omp")
+	if _, err := b.Install(s); err != nil {
+		t.Fatal(err)
+	}
+	b.RebuildEveryRun = true
+	records, err := b.Install(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := records[len(records)-1]
+	if root.Cached {
+		t.Error("RebuildEveryRun did not rebuild the root")
+	}
+	if root.Elapsed <= 0 {
+		t.Error("forced rebuild charges no simulated time")
+	}
+	// Dependencies still come from the cache — only the benchmark binary
+	// is rebuilt (the E9 ablation's cost model).
+	for _, r := range records[:len(records)-1] {
+		if !r.Cached && !r.External {
+			t.Errorf("%s: dependency rebuilt under RebuildEveryRun", r.SpecText)
+		}
+	}
+	// The ablation's headline: rebuilding every run is strictly dearer
+	// than trusting the cache.
+	b.RebuildEveryRun = false
+	cached, err := b.Install(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TotalBuildTime(cached) >= TotalBuildTime(records) {
+		t.Errorf("cached reinstall (%v) not cheaper than RebuildEveryRun (%v)",
+			TotalBuildTime(cached), TotalBuildTime(records))
+	}
+}
+
+func TestInstallDeterminism(t *testing.T) {
+	// Same spec, two trees: identical record order, spec texts, hashes,
+	// relative prefixes and command scripts.
+	s := concretized(t, "archer2", "babelstream model=omp")
+	var shapes [2][]string
+	for i := 0; i < 2; i++ {
+		tree := t.TempDir()
+		records, err := NewBuilder(tree, repo.Builtin()).Install(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range records {
+			rel := r.Prefix
+			if !r.External {
+				var err error
+				if rel, err = filepath.Rel(tree, r.Prefix); err != nil {
+					t.Fatal(err)
+				}
+			}
+			shapes[i] = append(shapes[i], r.SpecText+"|"+r.Hash+"|"+rel+"|"+strings.Join(r.Steps, ";"))
+		}
+	}
+	if !reflect.DeepEqual(shapes[0], shapes[1]) {
+		t.Errorf("installs diverge:\n%v\nvs\n%v", shapes[0], shapes[1])
+	}
+}
+
+func TestExternalsAreNotBuilt(t *testing.T) {
+	// hpgmg on archer2 resolves cray-mpich and python to externals.
+	tree := t.TempDir()
+	s := concretized(t, "archer2", "hpgmg%gcc")
+	records, err := NewBuilder(tree, repo.Builtin()).Install(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	externals := 0
+	for _, r := range records {
+		if !r.External {
+			continue
+		}
+		externals++
+		if r.Prefix == "" {
+			t.Errorf("%s: external without a system path", r.SpecText)
+		}
+		if strings.HasPrefix(r.Prefix, tree) {
+			t.Errorf("%s: external landed inside the install tree", r.SpecText)
+		}
+		if r.Elapsed != 0 {
+			t.Errorf("%s: external charges build time", r.SpecText)
+		}
+	}
+	if externals < 2 {
+		t.Errorf("externals = %d, want cray-mpich and python", externals)
+	}
+}
+
+func TestManifestProvenance(t *testing.T) {
+	tree := t.TempDir()
+	b := NewBuilder(tree, repo.Builtin())
+	s := concretized(t, "archer2", "babelstream model=omp")
+	records, err := b.Install(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := records[len(records)-1]
+	m, err := ReadManifest(root.Prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Hash != root.Hash || m.Hash != s.DAGHash() {
+		t.Errorf("manifest hash %q, record %q, spec %q", m.Hash, root.Hash, s.DAGHash())
+	}
+	if m.Spec != s.String() {
+		t.Errorf("manifest spec = %q", m.Spec)
+	}
+	if m.BuildSystem != "cmake" {
+		t.Errorf("build system = %q", m.BuildSystem)
+	}
+	if !reflect.DeepEqual(m.Commands, root.Steps) {
+		t.Errorf("manifest commands diverge from record steps")
+	}
+	if m.ElapsedS <= 0 || m.CreatedAt == "" {
+		t.Errorf("manifest missing timing: %+v", m)
+	}
+	// Dependency hashes chain the provenance across prefixes.
+	for _, dn := range s.DepNames() {
+		if m.Dependencies[dn] != s.Deps[dn].DAGHash() {
+			t.Errorf("dependency %s hash = %q, want %q", dn, m.Dependencies[dn], s.Deps[dn].DAGHash())
+		}
+	}
+}
+
+func TestInstallRejectsBadInput(t *testing.T) {
+	b := NewBuilder(t.TempDir(), repo.Builtin())
+	if _, err := b.Install(nil); err == nil {
+		t.Error("nil spec accepted")
+	}
+	if _, err := b.Install(spec.MustParse("babelstream model=omp")); err == nil {
+		t.Error("abstract spec accepted")
+	}
+	// A concrete spec naming a package with no recipe cannot build.
+	ghost := spec.New("no-such-package")
+	ghost.Version = spec.ExactVersion("1.0")
+	ghost.Concrete = true
+	if _, err := b.Install(ghost); err == nil {
+		t.Error("missing recipe accepted")
+	}
+	nb := NewBuilder("", repo.Builtin())
+	if _, err := nb.Install(concretized(t, "archer2", "stream")); err == nil {
+		t.Error("empty install tree accepted")
+	}
+}
+
+func TestBuildCommandsPerBuildSystem(t *testing.T) {
+	builtin := repo.Builtin()
+	cases := []struct {
+		system string
+		text   string
+		pkg    string
+		want   []string
+	}{
+		{"archer2", "babelstream model=omp", "babelstream", []string{"cmake ..", "-DMODEL=omp", "-DCMAKE_INSTALL_PREFIX=${PREFIX}", "cmake --install ."}},
+		{"archer2", "hpgmg%gcc", "hpgmg", []string{"make -j${BUILD_JOBS}", "PREFIX=${PREFIX}"}},
+		{"archer2", "hpcg variant=matrix-free", "hpcg", []string{"./configure", "--prefix=${PREFIX}", "--with-variant=matrix-free"}},
+	}
+	for _, c := range cases {
+		s := concretized(t, c.system, c.text)
+		node := s.Lookup(c.pkg)
+		pkg, err := builtin.Get(c.pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmds, err := BuildCommands(pkg, node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		script := strings.Join(cmds, "\n")
+		for _, want := range c.want {
+			if !strings.Contains(script, want) {
+				t.Errorf("%s (%s) script missing %q:\n%s", c.pkg, pkg.BuildSystem, want, script)
+			}
+		}
+	}
+	// Bundle recipes emit a no-build script.
+	cuda, err := builtin.Get("cuda")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := spec.New("cuda")
+	cmds, err := BuildCommands(cuda, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(cmds, "\n"), "bundle package") {
+		t.Errorf("bundle script = %v", cmds)
+	}
+	// Unknown build systems are an error, not a silent guess.
+	bad := &repo.Package{Name: "mystery", BuildSystem: "scons"}
+	if _, err := BuildCommands(bad, node); err == nil {
+		t.Error("unknown build system accepted")
+	}
+}
+
+func TestSummaryAndState(t *testing.T) {
+	records := []*Record{
+		{SpecText: "a"},
+		{SpecText: "b", Cached: true},
+		{SpecText: "c", External: true},
+		nil,
+	}
+	if got := Summary(records); got != "1 built, 1 cached, 1 external" {
+		t.Errorf("Summary = %q", got)
+	}
+	for want, r := range map[string]*Record{
+		"built":    records[0],
+		"cached":   records[1],
+		"external": records[2],
+	} {
+		if r.State() != want {
+			t.Errorf("State() = %q, want %q", r.State(), want)
+		}
+	}
+}

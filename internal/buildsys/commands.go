@@ -1,0 +1,143 @@
+package buildsys
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/repo"
+	"repro/internal/spec"
+)
+
+// BuildCommands renders the command script that builds a concrete spec
+// with its recipe's build system — Principle 2's "teach the build system"
+// made inspectable. The script is deterministic in the spec alone:
+// install-time paths appear as ${PREFIX}, ${BUILD_JOBS} and
+// ${DEP_ROOT_<NAME>} placeholders so the same spec always yields the same
+// commands, which is what makes them safe to cache in the manifest.
+func BuildCommands(pkg *repo.Package, s *spec.Spec) ([]string, error) {
+	if pkg == nil {
+		return nil, fmt.Errorf("buildsys: nil package recipe")
+	}
+	if s == nil {
+		return nil, fmt.Errorf("buildsys: nil spec")
+	}
+	header := fmt.Sprintf("# %s via %s", s.RootString(), pkg.BuildSystem)
+	cc := s.Compiler.Name
+	if cc == "" {
+		cc = "cc"
+	}
+	switch pkg.BuildSystem {
+	case "cmake":
+		flags := []string{
+			"-DCMAKE_BUILD_TYPE=Release",
+			"-DCMAKE_INSTALL_PREFIX=${PREFIX}",
+			"-DCMAKE_C_COMPILER=" + cc,
+		}
+		for _, vn := range s.VariantNames() {
+			flags = append(flags, cmakeFlag(vn, s.Variants[vn]))
+		}
+		if roots := depRoots(s); len(roots) > 0 {
+			flags = append(flags, "-DCMAKE_PREFIX_PATH="+strings.Join(roots, ";"))
+		}
+		return []string{
+			header,
+			"mkdir -p build && cd build",
+			"cmake .. " + strings.Join(flags, " "),
+			"cmake --build . -j${BUILD_JOBS}",
+			"cmake --install .",
+		}, nil
+	case "autotools":
+		flags := []string{"--prefix=${PREFIX}", "CC=" + cc}
+		for _, vn := range s.VariantNames() {
+			flags = append(flags, configureFlag(vn, s.Variants[vn]))
+		}
+		for _, dn := range s.DepNames() {
+			flags = append(flags, fmt.Sprintf("--with-%s=%s", dn, depRootVar(dn)))
+		}
+		return []string{
+			header,
+			"./configure " + strings.Join(flags, " "),
+			"make -j${BUILD_JOBS}",
+			"make install",
+		}, nil
+	case "make":
+		vars := []string{"CC=" + cc}
+		for _, vn := range s.VariantNames() {
+			vars = append(vars, makeVar(vn, s.Variants[vn]))
+		}
+		return []string{
+			header,
+			"make -j${BUILD_JOBS} " + strings.Join(vars, " "),
+			"make install PREFIX=${PREFIX}",
+		}, nil
+	case "bundle":
+		// Bundle packages (toolchains, meta-packages) install no code of
+		// their own; their members are built by their own recipes.
+		return []string{
+			header,
+			"# bundle package: no build step, members install via their own recipes",
+			"mkdir -p ${PREFIX}/bin",
+		}, nil
+	default:
+		return nil, fmt.Errorf("buildsys: %s: unknown build system %q", pkg.Name, pkg.BuildSystem)
+	}
+}
+
+// cmakeFlag renders one variant as a -D definition.
+func cmakeFlag(name string, v spec.VariantValue) string {
+	if v.IsBool {
+		val := "OFF"
+		if v.Bool {
+			val = "ON"
+		}
+		return fmt.Sprintf("-DENABLE_%s=%s", envName(name), val)
+	}
+	return fmt.Sprintf("-D%s=%s", envName(name), v.Str)
+}
+
+// configureFlag renders one variant as a ./configure switch.
+func configureFlag(name string, v spec.VariantValue) string {
+	if v.IsBool {
+		if v.Bool {
+			return "--enable-" + name
+		}
+		return "--disable-" + name
+	}
+	return fmt.Sprintf("--with-%s=%s", name, v.Str)
+}
+
+// makeVar renders one variant as a make variable assignment.
+func makeVar(name string, v spec.VariantValue) string {
+	if v.IsBool {
+		val := "0"
+		if v.Bool {
+			val = "1"
+		}
+		return fmt.Sprintf("%s=%s", envName(name), val)
+	}
+	return fmt.Sprintf("%s=%s", envName(name), v.Str)
+}
+
+// depRoots lists ${DEP_ROOT_<NAME>} placeholders for the direct
+// dependencies, sorted by name.
+func depRoots(s *spec.Spec) []string {
+	names := s.DepNames()
+	out := make([]string, 0, len(names))
+	for _, dn := range names {
+		out = append(out, depRootVar(dn))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// depRootVar names the placeholder for a dependency's install prefix.
+func depRootVar(dep string) string {
+	return "${DEP_ROOT_" + envName(dep) + "}"
+}
+
+// envName uppercases a package or variant name into an environment-style
+// identifier (dashes become underscores).
+func envName(name string) string {
+	return strings.ToUpper(strings.NewReplacer("-", "_", ".", "_").Replace(name))
+}

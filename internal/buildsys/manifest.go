@@ -1,0 +1,64 @@
+package buildsys
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ManifestName is the provenance file written into every built prefix —
+// Principle 4's record that "the steps to reproduce the binary are
+// known" long after the build (the paper's archaeological
+// reproducibility; Spack's .spack/spec.json equivalent).
+const ManifestName = "manifest.json"
+
+// Manifest is the JSON build-provenance record of one installed prefix.
+type Manifest struct {
+	// Spec is the full concrete spec text, dependencies included.
+	Spec string `json:"spec"`
+	// Root is the package's own constraints without dependencies.
+	Root string `json:"root"`
+	// Hash is the DAG hash the prefix is keyed on.
+	Hash string `json:"hash"`
+	// BuildSystem is the recipe's build tool.
+	BuildSystem string `json:"build_system"`
+	// Commands is the exact build script (see BuildCommands).
+	Commands []string `json:"commands"`
+	// ElapsedS is the simulated build duration in seconds.
+	ElapsedS float64 `json:"elapsed_s"`
+	// Dependencies maps each direct dependency to its own DAG hash, so
+	// the full provenance chain can be walked prefix to prefix.
+	Dependencies map[string]string `json:"dependencies"`
+	// CreatedAt is the wall-clock build time, RFC 3339 UTC.
+	CreatedAt string `json:"created_at"`
+}
+
+// WriteManifest writes the manifest into a prefix (or staging dir).
+func WriteManifest(prefix string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("buildsys: encoding manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(prefix, ManifestName), append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("buildsys: %w", err)
+	}
+	return nil
+}
+
+// ReadManifest loads the manifest of an installed prefix. A missing or
+// unreadable manifest means the prefix is not a valid cache entry.
+func ReadManifest(prefix string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(prefix, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("buildsys: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("buildsys: %s: corrupt manifest: %w", prefix, err)
+	}
+	if m.Hash == "" {
+		return nil, fmt.Errorf("buildsys: %s: manifest missing hash", prefix)
+	}
+	return &m, nil
+}

@@ -89,6 +89,10 @@ type Report struct {
 	Spec      *spec.Spec
 	SpecTrace []string // concretizer provenance (Principle 4)
 	Builds    []*buildsys.Record
+	// BuildTime is the simulated build time this run actually spent
+	// (cached and external packages cost nothing; see
+	// buildsys.TotalBuildTime).
+	BuildTime time.Duration
 	JobScript string
 	Job       *scheduler.Info
 	FOMs      map[string]fom.Value

@@ -57,7 +57,9 @@ func (r *Runner) Run(b Benchmark, opts Options) (*Report, error) {
 	report.Spec = conc.Spec
 	report.SpecTrace = conc.Steps
 
-	// 3. Build (Principles 2-3).
+	// 3. Build (Principles 2-3). The builder returns one provenance
+	// record per DAG node, root last; the root's prefix holds the
+	// binary the job launches.
 	builder := buildsys.NewBuilder(r.InstallTree, r.Repo)
 	builder.RebuildEveryRun = r.RebuildEveryRun
 	records, err := builder.Install(conc.Spec)
@@ -65,7 +67,9 @@ func (r *Runner) Run(b Benchmark, opts Options) (*Report, error) {
 		return nil, err
 	}
 	report.Builds = records
-	exePath := records[len(records)-1].Prefix + "/bin/" + conc.Spec.Name
+	report.BuildTime = buildsys.TotalBuildTime(records)
+	rootBuild := records[len(records)-1]
+	exePath := rootBuild.Prefix + "/bin/" + conc.Spec.Name
 
 	// 4. Assemble the job.
 	layout := b.DefaultLayout()
@@ -144,6 +148,12 @@ func (r *Runner) Run(b Benchmark, opts Options) (*Report, error) {
 			"num_tasks_per_node": fmt.Sprint(layout.TasksPerNode),
 			"num_cpus_per_task":  fmt.Sprint(layout.CPUsPerTask),
 			"job_runtime_s":      fmt.Sprintf("%.6f", info.Runtime()),
+			// Build provenance (Principle 4): the hash keys the install
+			// prefix whose manifest records the full command script.
+			"build_hash":        rootBuild.Hash,
+			"build_state":       rootBuild.State(),
+			"builds":            buildsys.Summary(records),
+			"simulated_build_s": fmt.Sprintf("%.3f", report.BuildTime.Seconds()),
 			// System-state capture the paper lists as planned work:
 			// an energy estimate for the allocation over the run.
 			"est_energy_j": fmt.Sprintf("%.1f",

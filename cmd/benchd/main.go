@@ -1,0 +1,89 @@
+// Command benchd is the continuous-benchmarking daemon: a perflog
+// store behind an HTTP API. Runs submitted over HTTP execute through
+// the same reproducible pipeline benchctl drives (concretize → build →
+// schedule → run → extract), and every perflog entry — whether produced
+// by a daemon run or appended to the tree by out-of-band benchctl
+// invocations — is served from one incremental, queryable store.
+//
+//	benchd --addr :8080 --perflog perflogs --tree install --workers 4
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/runs \
+//	    -d '{"benchmark":"babelstream-omp","system":"archer2"}'
+//	curl -s localhost:8080/v1/runs/run-000001
+//	curl -s 'localhost:8080/v1/query?benchmark=babelstream-omp&fom=triad_mbps&agg=mean&group_by=system'
+//	curl -s 'localhost:8080/v1/regressions?fom=triad_mbps&tolerance=0.1&window=5'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	perflogRoot := fs.String("perflog", "perflogs", "perflog root directory")
+	tree := fs.String("tree", "install", "install tree directory")
+	workers := fs.Int("workers", 2, "concurrent benchmark executions")
+	queueDepth := fs.Int("queue", 64, "maximum pending runs")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
+	drain := fs.Duration("drain", 2*time.Minute, "shutdown grace period for queued runs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv, err := service.New(service.Config{
+		PerflogRoot:    *perflogRoot,
+		InstallTree:    *tree,
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		RequestTimeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	stats := srv.Store().Stats()
+	log.Printf("benchd: ingested %d entries (%d systems, %d bytes) from %s",
+		stats.Entries, stats.Systems, stats.BytesParsed, *perflogRoot)
+	log.Printf("benchd: listening on %s (%d workers, queue %d)", *addr, *workers, *queueDepth)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Start(*addr) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err // listener failed before any signal
+	case <-ctx.Done():
+	}
+	log.Printf("benchd: shutting down, draining queued runs (up to %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("benchd: bye")
+	return nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBadFlagErrors(t *testing.T) {
+	if err := run([]string{"--no-such-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestUnlistenableAddrFailsFast(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"--addr", "203.0.113.1:1", // TEST-NET address: bind must fail
+		"--perflog", filepath.Join(dir, "perflogs"),
+		"--tree", filepath.Join(dir, "install"),
+	})
+	if err == nil {
+		t.Fatal("expected listen error")
+	}
+}
+
+func TestCorruptPerflogTreeRejectedAtBoot(t *testing.T) {
+	// The initial warm ingest must surface unreadable logs instead of
+	// serving a half-loaded store.
+	dir := t.TempDir()
+	root := filepath.Join(dir, "perflogs", "archer2")
+	if err := writeFile(t, filepath.Join(root, "x.log"), "not a perflog line\n"); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{
+		"--addr", "127.0.0.1:0",
+		"--perflog", filepath.Join(dir, "perflogs"),
+		"--tree", filepath.Join(dir, "install"),
+	})
+	if err == nil || !strings.Contains(err.Error(), "ingest") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) error {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -14,6 +14,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/perfstore"
 	"repro/internal/postprocess"
 )
 
@@ -54,8 +55,22 @@ func usage() {
                    [--svg FILE]                      also write an SVG version
   perfplot csv     --perflog DIR --out FILE          export the frame as CSV
   perfplot regress --perflog DIR --fom COL           flag performance regressions
-                   [--group cols] [--tolerance 0.1]
+                   [--group cols] [--tolerance 0.1] [--window N]
 `)
+}
+
+// loadStore ingests the perflog tree through perfstore — the same
+// storage and query path the benchd daemon serves, so CLI and service
+// read identical data.
+func loadStore(root string) (*perfstore.Store, error) {
+	store := perfstore.Open(root)
+	if err := store.Sync(); err != nil {
+		return nil, err
+	}
+	if store.Len() == 0 {
+		return nil, fmt.Errorf("no perflog entries under %s", root)
+	}
+	return store, nil
 }
 
 func cmdTable(args []string) error {
@@ -64,7 +79,11 @@ func cmdTable(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	f, err := postprocess.LoadFrame(*root)
+	store, err := loadStore(*root)
+	if err != nil {
+		return err
+	}
+	f, err := postprocess.ToFrame(store.Select(perfstore.Query{}))
 	if err != nil {
 		return err
 	}
@@ -140,17 +159,21 @@ func cmdRegress(args []string) error {
 	fomCol := fs.String("fom", "", "FOM column to check")
 	group := fs.String("group", "system,benchmark", "comma-separated grouping columns")
 	tolerance := fs.Float64("tolerance", 0.10, "fractional drop that counts as a regression")
+	window := fs.Int("window", 0, "sliding baseline size in runs (0 = all earlier runs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *fomCol == "" {
 		return fmt.Errorf("--fom is required")
 	}
-	f, err := postprocess.LoadFrame(*root)
+	store, err := loadStore(*root)
 	if err != nil {
 		return err
 	}
-	reports, err := postprocess.CheckRegressions(f, strings.Split(*group, ","), *fomCol, *tolerance)
+	reports, err := store.Regressions(perfstore.Query{
+		FOM:     *fomCol,
+		GroupBy: strings.Split(*group, ","),
+	}, *tolerance, *window)
 	if err != nil {
 		return err
 	}

@@ -157,3 +157,38 @@ func TestEmptyTree(t *testing.T) {
 		t.Error("empty perflog tree accepted")
 	}
 }
+
+func TestRegressWindowFlagBoundsBaseline(t *testing.T) {
+	// A series that degraded long ago but is stable now: the full
+	// history flags it, a recent sliding window does not.
+	root := t.TempDir()
+	t0 := time.Date(2023, 7, 7, 10, 0, 0, 0, time.UTC)
+	for i, v := range []float64{200, 200, 200, 100, 100, 100, 100} {
+		e := &perflog.Entry{
+			Time:      t0.Add(time.Duration(i) * time.Hour),
+			Benchmark: "hpgmg-fv",
+			System:    "archer2",
+			Partition: "compute",
+			Environ:   "gcc",
+			Spec:      "hpgmg%gcc",
+			JobID:     i + 1,
+			Result:    "pass",
+			FOMs:      map[string]fom.Value{"l0": {Name: "l0", Value: v, Unit: "MDOF/s"}},
+			Extra:     map[string]string{},
+		}
+		if err := perflog.Append(root, "archer2", "hpgmg-fv", e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"regress", "--perflog", root, "--fom", "l0"})
+	}); err == nil {
+		t.Error("full-history baseline should flag the old decay")
+	}
+	out, err := capture(t, func() error {
+		return run([]string{"regress", "--perflog", root, "--fom", "l0", "--window", "3"})
+	})
+	if err != nil {
+		t.Errorf("window-3 baseline should be stable: %v\n%s", err, out)
+	}
+}

@@ -161,6 +161,12 @@ func unescape(s string) string {
 // Append appends entries to the perflog for a benchmark on a system,
 // following the directory layout <root>/<system>/<benchmark>.log and
 // creating directories as needed.
+//
+// The whole batch is rendered into one buffer and written with a single
+// Write on the O_APPEND descriptor: concurrent appenders (several
+// benchctl processes, or benchd workers) then never interleave bytes
+// mid-line, which a buffered writer could do by splitting a line across
+// flushes.
 func Append(root, system, benchmark string, entries ...*Entry) error {
 	dir := filepath.Join(root, system)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -172,13 +178,12 @@ func Append(root, system, benchmark string, entries ...*Entry) error {
 		return fmt.Errorf("perflog: %w", err)
 	}
 	defer f.Close()
-	w := bufio.NewWriter(f)
+	var buf strings.Builder
 	for _, e := range entries {
-		if _, err := w.WriteString(e.Line() + "\n"); err != nil {
-			return fmt.Errorf("perflog: %w", err)
-		}
+		buf.WriteString(e.Line())
+		buf.WriteByte('\n')
 	}
-	if err := w.Flush(); err != nil {
+	if _, err := f.WriteString(buf.String()); err != nil {
 		return fmt.Errorf("perflog: %w", err)
 	}
 	return nil

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -200,5 +201,47 @@ func TestReadCorruptLineReportsLineNumber(t *testing.T) {
 	_, err := Read(path)
 	if err == nil || !strings.Contains(err.Error(), "line 2") {
 		t.Errorf("error should name the line: %v", err)
+	}
+}
+
+func TestAppendConcurrentWritersNeverInterleave(t *testing.T) {
+	// Many goroutines append batches to the same file through separate
+	// O_APPEND descriptors, as concurrent benchctl processes or benchd
+	// workers would. Every line must parse back intact: a writer that
+	// issues more than one syscall per batch can interleave mid-line.
+	root := t.TempDir()
+	const writers = 16
+	const batches = 8
+	// A long extra value makes each line big enough that split writes
+	// would show up as corruption.
+	pad := strings.Repeat("x", 2048)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				e := sampleEntry()
+				e.JobID = w*1000 + b
+				e.Extra["pad"] = pad
+				if err := Append(root, "archer2", "hpgmg-fv", e, e); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	entries, err := Read(filepath.Join(root, "archer2", "hpgmg-fv.log"))
+	if err != nil {
+		t.Fatalf("interleaved write corrupted the log: %v", err)
+	}
+	if len(entries) != writers*batches*2 {
+		t.Errorf("entries = %d, want %d", len(entries), writers*batches*2)
+	}
+	for _, e := range entries {
+		if e.Extra["pad"] != pad {
+			t.Fatal("padding mangled")
+		}
 	}
 }

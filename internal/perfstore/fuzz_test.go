@@ -1,0 +1,78 @@
+package perfstore
+
+import (
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzQuery hammers the GET /v1/query wire-format parser: it must never
+// panic, and whatever it accepts must be internally consistent.
+func FuzzQuery(f *testing.F) {
+	seeds := []string{
+		"",
+		"system=archer2&benchmark=hpgmg-fv",
+		"fom=l0&agg=mean&group_by=system,benchmark",
+		"since=2023-07-07T10:00:00Z&limit=10",
+		"extra.num_tasks=8&result=pass",
+		"agg=count",
+		"group_by=system,,benchmark",
+		"limit=-3",
+		"since=not-a-time",
+		"agg=median&fom=l0",
+		"extra.=oops",
+		"%gh&%ij",
+		"a=b;c=d",
+		strings.Repeat("system=x&", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		q, err := ParseQuery(raw)
+		if err != nil {
+			return // rejected input: fine, as long as it didn't panic
+		}
+		// Accepted queries satisfy the parser's own contract.
+		if q.Limit < 0 {
+			t.Fatalf("negative limit accepted: %q -> %+v", raw, q)
+		}
+		if q.Agg != "" && q.Agg != "count" && q.FOM == "" {
+			t.Fatalf("agg without fom accepted: %q -> %+v", raw, q)
+		}
+		if q.Agg != "" && !aggNames[q.Agg] {
+			t.Fatalf("unknown agg accepted: %q -> %+v", raw, q)
+		}
+		for _, g := range q.GroupBy {
+			if g == "" {
+				t.Fatalf("empty group_by field accepted: %q -> %+v", raw, q)
+			}
+		}
+		for k := range q.Extra {
+			if k == "" {
+				t.Fatalf("empty extra key accepted: %q -> %+v", raw, q)
+			}
+		}
+		if !q.Since.IsZero() {
+			// since must round-trip as RFC3339, or it was never parsed.
+			if _, err := time.Parse(time.RFC3339, q.Since.Format(time.RFC3339)); err != nil {
+				t.Fatalf("since does not round-trip: %v", q.Since)
+			}
+		}
+		// Everything the parser accepted came from a parseable query
+		// string; re-parsing it must agree on the raw values.
+		if _, err := url.ParseQuery(raw); err != nil {
+			t.Fatalf("accepted unparseable query %q", raw)
+		}
+		// A store must be able to run any accepted query without
+		// panicking, even empty.
+		s := Open(t.TempDir())
+		s.Select(q)
+		if q.Agg != "" {
+			if _, err := s.Aggregate(q); err != nil && q.Agg != "count" && q.FOM != "" {
+				t.Fatalf("aggregate rejected parsed query %+v: %v", q, err)
+			}
+		}
+	})
+}

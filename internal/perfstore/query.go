@@ -1,0 +1,227 @@
+package perfstore
+
+import (
+	"fmt"
+	"math"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/perflog"
+)
+
+// Query selects entries from the store. Zero-valued fields match
+// everything.
+type Query struct {
+	System    string
+	Benchmark string
+	// FOM requires the named figure of merit to be present; it is also
+	// the value column for Aggregate and Regressions.
+	FOM string
+	// Result filters on "pass"/"fail"; empty admits both.
+	Result string
+	// Extra filters on run parameters (num_tasks=8, ...); every pair
+	// must match.
+	Extra map[string]string
+	// Since keeps entries with Time >= Since.
+	Since time.Time
+	// Limit keeps the most recent N matching entries (0 = all).
+	Limit int
+	// GroupBy names identity fields or extras to aggregate over.
+	GroupBy []string
+	// Agg selects the aggregate: min, max, mean, last, count.
+	Agg string
+}
+
+func (q *Query) matches(e *perflog.Entry) bool {
+	if q.System != "" && e.System != q.System {
+		return false
+	}
+	if q.Benchmark != "" && e.Benchmark != q.Benchmark {
+		return false
+	}
+	if q.Result != "" && e.Result != q.Result {
+		return false
+	}
+	if q.FOM != "" {
+		if _, ok := e.FOMs[q.FOM]; !ok {
+			return false
+		}
+	}
+	if !q.Since.IsZero() && e.Time.Before(q.Since) {
+		return false
+	}
+	for k, v := range q.Extra {
+		if e.Extra[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// groupField resolves one group-by field of an entry: the fixed
+// identity columns first, then extras.
+func groupField(e *perflog.Entry, key string) string {
+	switch key {
+	case "system":
+		return e.System
+	case "benchmark":
+		return e.Benchmark
+	case "partition":
+		return e.Partition
+	case "environ":
+		return e.Environ
+	case "spec":
+		return e.Spec
+	case "result":
+		return e.Result
+	}
+	return e.Extra[key]
+}
+
+// GroupKey joins the entry's group-by fields with "/" — the same shape
+// perfplot regress prints.
+func GroupKey(e *perflog.Entry, groupBy []string) string {
+	parts := make([]string, len(groupBy))
+	for i, k := range groupBy {
+		parts[i] = groupField(e, k)
+	}
+	return strings.Join(parts, "/")
+}
+
+// aggNames is the vocabulary ParseQuery accepts for agg=.
+var aggNames = map[string]bool{
+	"min": true, "max": true, "mean": true, "last": true, "count": true,
+}
+
+// ParseQuery decodes URL query parameters (the GET /v1/query wire
+// format, also fuzzed) into a Query. Recognised keys:
+//
+//	system, benchmark, fom, result, since (RFC3339), limit,
+//	group_by (comma-separated), agg (min|max|mean|last|count),
+//	extra.<key>=<value>
+//
+// Unknown keys are rejected so that typos fail loudly instead of
+// silently matching everything.
+func ParseQuery(rawQuery string) (Query, error) {
+	var q Query
+	values, err := url.ParseQuery(rawQuery)
+	if err != nil {
+		return q, fmt.Errorf("perfstore: bad query string: %w", err)
+	}
+	for key, vals := range values {
+		val := vals[len(vals)-1]
+		switch key {
+		case "system":
+			q.System = val
+		case "benchmark":
+			q.Benchmark = val
+		case "fom":
+			q.FOM = val
+		case "result":
+			if val != "pass" && val != "fail" && val != "" {
+				return q, fmt.Errorf("perfstore: result must be pass or fail, got %q", val)
+			}
+			q.Result = val
+		case "since":
+			t, err := time.Parse(time.RFC3339, val)
+			if err != nil {
+				return q, fmt.Errorf("perfstore: bad since timestamp %q", val)
+			}
+			q.Since = t
+		case "limit":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return q, fmt.Errorf("perfstore: bad limit %q", val)
+			}
+			q.Limit = n
+		case "group_by":
+			for _, f := range strings.Split(val, ",") {
+				f = strings.TrimSpace(f)
+				if f == "" {
+					return q, fmt.Errorf("perfstore: empty group_by field")
+				}
+				q.GroupBy = append(q.GroupBy, f)
+			}
+		case "agg":
+			if !aggNames[val] {
+				return q, fmt.Errorf("perfstore: unknown agg %q (want min|max|mean|last|count)", val)
+			}
+			q.Agg = val
+		default:
+			if name, ok := strings.CutPrefix(key, "extra."); ok && name != "" {
+				if q.Extra == nil {
+					q.Extra = map[string]string{}
+				}
+				q.Extra[name] = val
+				continue
+			}
+			return q, fmt.Errorf("perfstore: unknown query key %q", key)
+		}
+	}
+	if q.Agg != "" && q.Agg != "count" && q.FOM == "" {
+		return q, fmt.Errorf("perfstore: agg=%s needs fom=", q.Agg)
+	}
+	return q, nil
+}
+
+// Aggregate is one group's summary over a FOM.
+type Aggregate struct {
+	Group string  `json:"group"`
+	Count int     `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	Last  float64 `json:"last"`
+	Unit  string  `json:"unit,omitempty"`
+}
+
+// Aggregate groups the matching entries by q.GroupBy (default
+// system,benchmark) and summarises q.FOM per group: min, max, mean, and
+// the latest value by timestamp. With Agg=count, q.FOM may be empty and
+// only Count is meaningful.
+func (s *Store) Aggregate(q Query) ([]Aggregate, error) {
+	if q.FOM == "" && q.Agg != "count" {
+		return nil, fmt.Errorf("perfstore: aggregate needs Query.FOM")
+	}
+	groupBy := q.GroupBy
+	if len(groupBy) == 0 {
+		groupBy = []string{"system", "benchmark"}
+	}
+	entries := s.Select(q) // already time-ordered
+	byGroup := map[string]*Aggregate{}
+	var order []string
+	for _, e := range entries {
+		key := GroupKey(e, groupBy)
+		agg := byGroup[key]
+		if agg == nil {
+			agg = &Aggregate{Group: key, Min: math.Inf(1), Max: math.Inf(-1)}
+			byGroup[key] = agg
+			order = append(order, key)
+		}
+		agg.Count++
+		if q.FOM == "" {
+			continue
+		}
+		v := e.FOMs[q.FOM]
+		agg.Unit = v.Unit
+		agg.Min = math.Min(agg.Min, v.Value)
+		agg.Max = math.Max(agg.Max, v.Value)
+		agg.Mean += v.Value // sum; divided below
+		agg.Last = v.Value  // entries are time-ascending
+	}
+	sort.Strings(order)
+	out := make([]Aggregate, 0, len(order))
+	for _, key := range order {
+		agg := byGroup[key]
+		if q.FOM != "" && agg.Count > 0 {
+			agg.Mean /= float64(agg.Count)
+		} else {
+			agg.Min, agg.Max = 0, 0
+		}
+		out = append(out, *agg)
+	}
+	return out, nil
+}

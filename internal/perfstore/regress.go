@@ -1,0 +1,97 @@
+package perfstore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Report flags one group's latest FOM value against a sliding baseline
+// — the same rule perfplot regress applies: the latest value is
+// compared with the mean of the baseline window, and a fractional drop
+// beyond the tolerance is flagged.
+type Report struct {
+	Group    string  `json:"group"`
+	Baseline float64 `json:"baseline"`
+	Latest   float64 `json:"latest"`
+	Change   float64 `json:"change"` // fractional, negative = slower
+	Flagged  bool    `json:"flagged"`
+	Samples  int     `json:"samples"` // values in the baseline window
+}
+
+// EvalSeries applies the regression rule to one time-ascending series:
+// baseline = mean of the window values preceding the latest (window
+// <= 0 means all of them), change = (latest-baseline)/baseline, flagged
+// when the drop exceeds the tolerance. It reports false when the series
+// is too short to judge (fewer than two values). This is the single
+// tolerance implementation shared by perfplot regress
+// (postprocess.CheckRegressions) and the benchd /v1/regressions
+// endpoint.
+func EvalSeries(vals []float64, tolerance float64, window int) (Report, bool) {
+	clean := vals[:0:0]
+	for _, v := range vals {
+		if !math.IsNaN(v) {
+			clean = append(clean, v)
+		}
+	}
+	if len(clean) < 2 {
+		return Report{}, false
+	}
+	latest := clean[len(clean)-1]
+	base := clean[:len(clean)-1]
+	if window > 0 && len(base) > window {
+		base = base[len(base)-window:]
+	}
+	sum := 0.0
+	for _, v := range base {
+		sum += v
+	}
+	mean := sum / float64(len(base))
+	change := 0.0
+	if mean != 0 {
+		change = (latest - mean) / mean
+	}
+	return Report{
+		Baseline: mean,
+		Latest:   latest,
+		Change:   change,
+		Flagged:  change < -tolerance,
+		Samples:  len(base),
+	}, true
+}
+
+// Regressions evaluates q.FOM over the matching entries, grouped by
+// q.GroupBy (default system,benchmark), each group ordered by
+// timestamp. window bounds the sliding baseline (0 = every earlier
+// run). Groups with fewer than two runs are skipped — nothing to
+// compare yet.
+func (s *Store) Regressions(q Query, tolerance float64, window int) ([]Report, error) {
+	if q.FOM == "" {
+		return nil, fmt.Errorf("perfstore: regressions need Query.FOM")
+	}
+	groupBy := q.GroupBy
+	if len(groupBy) == 0 {
+		groupBy = []string{"system", "benchmark"}
+	}
+	entries := s.Select(q) // time-ascending
+	series := map[string][]float64{}
+	for _, e := range entries {
+		key := GroupKey(e, groupBy)
+		series[key] = append(series[key], e.FOMs[q.FOM].Value)
+	}
+	keys := make([]string, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []Report
+	for _, key := range keys {
+		r, ok := EvalSeries(series[key], tolerance, window)
+		if !ok {
+			continue
+		}
+		r.Group = key
+		out = append(out, r)
+	}
+	return out, nil
+}

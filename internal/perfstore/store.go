@@ -1,0 +1,307 @@
+// Package perfstore is the storage layer over a perflog tree: a
+// concurrent, sharded in-memory index with incremental (checkpointed)
+// ingest, a small query engine, and a regression evaluator. It is the
+// continuous-benchmarking piece the paper's conclusion calls for —
+// perflogs "generated on isolated systems" are assimilated once, kept
+// hot, and served to many readers (the perfplot CLI and the benchd
+// daemon share this one query path) instead of being re-parsed from
+// flat files on every invocation.
+//
+// Ingest is append-only and keyed on (system, benchmark), matching the
+// <root>/<system>/<benchmark>.log layout perflog.Append writes. Each
+// file carries a byte-offset checkpoint: a re-sync seeks to the
+// checkpoint and parses only bytes appended since, so re-ingesting an
+// unchanged tree parses zero bytes.
+package perfstore
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/perflog"
+)
+
+// shardCount fixes the number of index shards. Sharding is by system:
+// queries that name a system touch one shard's lock, so ingest on one
+// system never blocks reads on another.
+const shardCount = 16
+
+type shard struct {
+	mu sync.RWMutex
+	// bySystem holds the entries of every system hashing to this shard,
+	// in ingest order, tagged with their source file so truncation can
+	// evict them.
+	bySystem map[string][]stored
+}
+
+type stored struct {
+	entry *perflog.Entry
+	file  string
+}
+
+// checkpoint is the incremental-ingest state of one perflog file.
+type checkpoint struct {
+	offset int64 // bytes consumed through the last complete line
+}
+
+// Stats counts ingest work; the checkpoint tests assert a no-op re-sync
+// parses zero bytes.
+type Stats struct {
+	FilesScanned int
+	BytesParsed  int64
+	EntriesAdded int
+	Entries      int
+	Systems      int
+}
+
+// Store is the concurrent perflog store.
+type Store struct {
+	root   string
+	shards [shardCount]shard
+
+	ckMu  sync.Mutex
+	ck    map[string]*checkpoint
+	stats struct {
+		sync.Mutex
+		filesScanned int
+		bytesParsed  int64
+		entriesAdded int
+	}
+}
+
+// Open returns a store over a perflog root directory. No ingest happens
+// until Sync (or Append) is called; the directory need not exist yet.
+func Open(root string) *Store {
+	s := &Store{root: root, ck: map[string]*checkpoint{}}
+	for i := range s.shards {
+		s.shards[i].bySystem = map[string][]stored{}
+	}
+	return s
+}
+
+// Root returns the perflog tree this store ingests from.
+func (s *Store) Root() string { return s.root }
+
+func (s *Store) shardFor(system string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(system))
+	return &s.shards[h.Sum32()%shardCount]
+}
+
+// Sync walks the perflog tree and incrementally ingests every .log file.
+// Files already at their checkpoint are skipped without reading a byte.
+func (s *Store) Sync() error {
+	if _, err := os.Stat(s.root); os.IsNotExist(err) {
+		return nil // nothing logged yet
+	}
+	return filepath.Walk(s.root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() || !strings.HasSuffix(path, ".log") {
+			return nil
+		}
+		return s.SyncFile(path)
+	})
+}
+
+// SyncFile incrementally ingests one perflog file: it seeks to the
+// file's checkpoint and parses only complete lines appended since. A
+// line still being written (no trailing newline yet) is left for the
+// next sync. If the file shrank below its checkpoint it was truncated
+// or rewritten, so its previous entries are evicted and it is re-read
+// from the start.
+func (s *Store) SyncFile(path string) error {
+	s.ckMu.Lock()
+	ck := s.ck[path]
+	if ck == nil {
+		ck = &checkpoint{}
+		s.ck[path] = ck
+	}
+	s.ckMu.Unlock()
+
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("perfstore: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("perfstore: %w", err)
+	}
+
+	// Serialize syncs of the same file on its checkpoint: two concurrent
+	// SyncFile calls would otherwise double-ingest the same byte range.
+	s.ckMu.Lock()
+	defer s.ckMu.Unlock()
+
+	if st.Size() < ck.offset {
+		s.evictFile(path)
+		ck.offset = 0
+	}
+	if st.Size() == ck.offset {
+		s.bumpStats(1, 0, 0)
+		return nil
+	}
+	if _, err := f.Seek(ck.offset, io.SeekStart); err != nil {
+		return fmt.Errorf("perfstore: %w", err)
+	}
+
+	r := bufio.NewReaderSize(f, 64*1024)
+	var parsed int64
+	var added int
+	for {
+		line, err := r.ReadString('\n')
+		if err == io.EOF {
+			// Partial trailing line: a writer is mid-append. Leave the
+			// checkpoint before it so the next sync picks it up whole.
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("perfstore: %w", err)
+		}
+		n := int64(len(line))
+		text := strings.TrimSpace(line)
+		if text != "" && !strings.HasPrefix(text, "#") {
+			e, perr := perflog.ParseLine(text)
+			if perr != nil {
+				return fmt.Errorf("perfstore: %s @%d: %w", path, ck.offset+parsed, perr)
+			}
+			s.add(e, path)
+			added++
+		}
+		parsed += n
+		ck.offset += n
+	}
+	s.bumpStats(1, parsed, added)
+	return nil
+}
+
+// Append persists entries through perflog.Append and ingests exactly
+// the bytes just written, so store and tree stay in lockstep — the
+// write path benchd workers use.
+func (s *Store) Append(system, benchmark string, entries ...*perflog.Entry) error {
+	if err := perflog.Append(s.root, system, benchmark, entries...); err != nil {
+		return err
+	}
+	return s.SyncFile(filepath.Join(s.root, system, benchmark+".log"))
+}
+
+func (s *Store) add(e *perflog.Entry, file string) {
+	sh := s.shardFor(e.System)
+	sh.mu.Lock()
+	sh.bySystem[e.System] = append(sh.bySystem[e.System], stored{entry: e, file: file})
+	sh.mu.Unlock()
+}
+
+// evictFile removes every entry ingested from one file (truncation
+// recovery). Callers hold ckMu.
+func (s *Store) evictFile(path string) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for sys, entries := range sh.bySystem {
+			kept := entries[:0]
+			for _, se := range entries {
+				if se.file != path {
+					kept = append(kept, se)
+				}
+			}
+			if len(kept) == 0 {
+				delete(sh.bySystem, sys)
+			} else {
+				sh.bySystem[sys] = kept
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+func (s *Store) bumpStats(files int, bytes int64, added int) {
+	s.stats.Lock()
+	s.stats.filesScanned += files
+	s.stats.bytesParsed += bytes
+	s.stats.entriesAdded += added
+	s.stats.Unlock()
+}
+
+// Stats reports cumulative ingest counters and current index size.
+func (s *Store) Stats() Stats {
+	s.stats.Lock()
+	out := Stats{
+		FilesScanned: s.stats.filesScanned,
+		BytesParsed:  s.stats.bytesParsed,
+		EntriesAdded: s.stats.entriesAdded,
+	}
+	s.stats.Unlock()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		out.Systems += len(sh.bySystem)
+		for _, entries := range sh.bySystem {
+			out.Entries += len(entries)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// Len returns the number of indexed entries.
+func (s *Store) Len() int { return s.Stats().Entries }
+
+// Systems lists the indexed system names, sorted.
+func (s *Store) Systems() []string {
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for sys := range sh.bySystem {
+			out = append(out, sys)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Select returns the entries matching the query, ordered by timestamp
+// ascending (ties keep ingest order). A Limit keeps the most recent
+// Limit entries — the tail of the time series.
+func (s *Store) Select(q Query) []*perflog.Entry {
+	var out []*perflog.Entry
+	collect := func(entries []stored) {
+		for _, se := range entries {
+			if q.matches(se.entry) {
+				out = append(out, se.entry)
+			}
+		}
+	}
+	if q.System != "" {
+		// Single-system query: one shard, one read lock.
+		sh := s.shardFor(q.System)
+		sh.mu.RLock()
+		collect(sh.bySystem[q.System])
+		sh.mu.RUnlock()
+	} else {
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.RLock()
+			for _, entries := range sh.bySystem {
+				collect(entries)
+			}
+			sh.mu.RUnlock()
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[len(out)-q.Limit:]
+	}
+	return out
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/dataframe"
+	"repro/internal/perfstore"
 )
 
 // BarChart renders the configured plot as a text bar chart: one bar per
@@ -248,26 +249,18 @@ func CheckRegressions(f *dataframe.Frame, keyCols []string, valueCol string, tol
 	sort.Strings(order)
 	var out []RegressionReport
 	for _, key := range order {
-		vals := groups[key]
-		if len(vals) < 2 {
+		// The tolerance rule lives in perfstore so the CLI and the
+		// benchd daemon flag regressions identically.
+		r, ok := perfstore.EvalSeries(groups[key], tolerance, 0)
+		if !ok {
 			continue
-		}
-		latest := vals[len(vals)-1]
-		base := 0.0
-		for _, v := range vals[:len(vals)-1] {
-			base += v
-		}
-		base /= float64(len(vals) - 1)
-		change := 0.0
-		if base != 0 {
-			change = (latest - base) / base
 		}
 		out = append(out, RegressionReport{
 			Group:    key,
-			Baseline: base,
-			Latest:   latest,
-			Change:   change,
-			Flagged:  change < -tolerance,
+			Baseline: r.Baseline,
+			Latest:   r.Latest,
+			Change:   r.Change,
+			Flagged:  r.Flagged,
 		})
 	}
 	return out, nil

@@ -1,0 +1,287 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/perflog"
+	"repro/internal/perfstore"
+)
+
+// Handler returns the daemon's routed HTTP handler with the request
+// timeout applied. Exposed separately from Start so tests can mount it
+// on an httptest server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs", s.handleListRuns)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
+	mux.HandleFunc("GET /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/regressions", s.handleRegressions)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError emits the daemon's uniform JSON error shape.
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// runRequest is the POST /v1/runs body.
+type runRequest struct {
+	Benchmark    string `json:"benchmark"`
+	System       string `json:"system"`
+	Spec         string `json:"spec,omitempty"`
+	NumTasks     int    `json:"num_tasks,omitempty"`
+	TasksPerNode int    `json:"tasks_per_node,omitempty"`
+	CPUsPerTask  int    `json:"cpus_per_task,omitempty"`
+}
+
+// fomView is one figure of merit on the wire.
+type fomView struct {
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit,omitempty"`
+}
+
+// entryView is a perflog entry on the wire.
+type entryView struct {
+	Timestamp time.Time          `json:"timestamp"`
+	Benchmark string             `json:"benchmark"`
+	System    string             `json:"system"`
+	Partition string             `json:"partition"`
+	Environ   string             `json:"environ"`
+	Spec      string             `json:"spec"`
+	Job       int                `json:"job"`
+	Result    string             `json:"result"`
+	FOMs      map[string]fomView `json:"foms,omitempty"`
+	Extra     map[string]string  `json:"extra,omitempty"`
+}
+
+func viewEntry(e *perflog.Entry) entryView {
+	v := entryView{
+		Timestamp: e.Time,
+		Benchmark: e.Benchmark,
+		System:    e.System,
+		Partition: e.Partition,
+		Environ:   e.Environ,
+		Spec:      e.Spec,
+		Job:       e.JobID,
+		Result:    e.Result,
+		Extra:     e.Extra,
+	}
+	if len(e.FOMs) > 0 {
+		v.FOMs = map[string]fomView{}
+		for k, f := range e.FOMs {
+			v.FOMs[k] = fomView{Value: f.Value, Unit: f.Unit}
+		}
+	}
+	return v
+}
+
+// runView is a run's status on the wire.
+type runView struct {
+	ID         string     `json:"id"`
+	Benchmark  string     `json:"benchmark"`
+	System     string     `json:"system"`
+	Spec       string     `json:"spec,omitempty"`
+	Status     string     `json:"status"`
+	Error      string     `json:"error,omitempty"`
+	Submitted  time.Time  `json:"submitted_at"`
+	Started    *time.Time `json:"started_at,omitempty"`
+	Finished   *time.Time `json:"finished_at,omitempty"`
+	Entry      *entryView `json:"entry,omitempty"`
+	StatusCode int        `json:"-"`
+}
+
+func viewRun(r *Run) runView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := runView{
+		ID:        r.ID,
+		Benchmark: r.Benchmark,
+		System:    r.System,
+		Spec:      r.Spec,
+		Status:    r.status,
+		Error:     r.err,
+		Submitted: r.submitted,
+	}
+	if !r.started.IsZero() {
+		t := r.started
+		v.Started = &t
+	}
+	if !r.finished.IsZero() {
+		t := r.finished
+		v.Finished = &t
+	}
+	if r.entry != nil {
+		e := viewEntry(r.entry)
+		v.Entry = &e
+	}
+	return v
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	run, err := s.Submit(req.Benchmark, req.System, req.Spec, req.NumTasks, req.TasksPerNode, req.CPUsPerTask)
+	switch {
+	case errors.Is(err, errQueueFull):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, errShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/runs/"+run.ID)
+	writeJSON(w, http.StatusAccepted, viewRun(run))
+}
+
+func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such run %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, viewRun(run))
+}
+
+func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]runView, 0, len(s.order))
+	for _, id := range s.order {
+		views = append(views, viewRun(s.runs[id]))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"runs": views, "count": len(views)})
+}
+
+// handleQuery serves GET /v1/query: filtered entries, or group-by
+// aggregates when agg= is present. The store re-syncs incrementally
+// first so entries appended by out-of-band CLI runs are visible — an
+// unchanged tree costs zero parsed bytes.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q, err := perfstore.ParseQuery(r.URL.RawQuery)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.store.Sync(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if q.Agg != "" {
+		aggs, err := s.store.Aggregate(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"aggregates": aggs, "count": len(aggs)})
+		return
+	}
+	entries := s.store.Select(q)
+	views := make([]entryView, len(entries))
+	for i, e := range entries {
+		views[i] = viewEntry(e)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"entries": views, "count": len(views)})
+}
+
+// handleRegressions serves GET /v1/regressions: the perfstore sliding
+// baseline evaluator over the shared query filters, plus tolerance=
+// and window= knobs.
+func (s *Server) handleRegressions(w http.ResponseWriter, r *http.Request) {
+	values := r.URL.Query()
+	tolerance := 0.10
+	if v := values.Get("tolerance"); v != "" {
+		t, err := strconv.ParseFloat(v, 64)
+		if err != nil || t < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad tolerance %q", v))
+			return
+		}
+		tolerance = t
+	}
+	window := 0
+	if v := values.Get("window"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad window %q", v))
+			return
+		}
+		window = n
+	}
+	values.Del("tolerance")
+	values.Del("window")
+	q, err := perfstore.ParseQuery(values.Encode())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if q.FOM == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("fom= is required"))
+		return
+	}
+	if err := s.store.Sync(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	reports, err := s.store.Regressions(q, tolerance, window)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if reports == nil {
+		reports = []perfstore.Report{} // an empty set is [], not null
+	}
+	flagged := 0
+	for _, r := range reports {
+		if r.Flagged {
+			flagged++
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"regressions": reports,
+		"count":       len(reports),
+		"flagged":     flagged,
+		"tolerance":   tolerance,
+		"window":      window,
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	stats := s.store.Stats()
+	s.mu.Lock()
+	queued := len(s.queue)
+	runs := len(s.runs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":       "ok",
+		"uptime_s":     int(time.Since(s.started).Seconds()),
+		"entries":      stats.Entries,
+		"systems":      stats.Systems,
+		"bytes_parsed": stats.BytesParsed,
+		"runs_tracked": runs,
+		"queued":       queued,
+		"workers":      s.cfg.Workers,
+		"perflog_root": s.store.Root(),
+	})
+}

@@ -1,0 +1,286 @@
+// Package service is the benchd HTTP daemon: benchmark runs are
+// enqueued over HTTP, executed through the same suite/core.Runner
+// pipeline the CLI uses on a bounded worker pool, and their perflog
+// entries ingested into a shared perfstore that the query and
+// regression endpoints serve. It is the "results live behind a
+// queryable service" piece of continuous benchmarking (ROADMAP
+// north-star; paper §4 future work).
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/perflog"
+	"repro/internal/perfstore"
+	"repro/internal/suite"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// PerflogRoot is the perflog tree served and appended to.
+	PerflogRoot string
+	// InstallTree is the build cache for executed runs.
+	InstallTree string
+	// Workers bounds concurrent benchmark executions (default 2).
+	Workers int
+	// QueueDepth bounds pending runs; a full queue rejects submissions
+	// with 503 instead of growing without bound (default 64).
+	QueueDepth int
+	// RequestTimeout bounds each HTTP request (default 30s).
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Run states.
+const (
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusCompleted = "completed"
+	StatusFailed    = "failed"
+)
+
+// Run is one submitted benchmark execution.
+type Run struct {
+	ID        string
+	Benchmark string
+	System    string
+	Spec      string
+
+	NumTasks     int
+	TasksPerNode int
+	CPUsPerTask  int
+
+	mu        sync.Mutex
+	status    string
+	err       string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	entry     *perflog.Entry
+}
+
+func (r *Run) set(f func(*Run)) {
+	r.mu.Lock()
+	f(r)
+	r.mu.Unlock()
+}
+
+// Server is the benchd daemon: a perfstore plus a worker pool over the
+// core.Runner pipeline.
+type Server struct {
+	cfg    Config
+	store  *perfstore.Store
+	runner *core.Runner
+
+	queue chan *Run
+
+	mu      sync.Mutex
+	runs    map[string]*Run
+	order   []string // submission order, for listing
+	nextID  int
+	closed  bool
+	started time.Time
+
+	wg   sync.WaitGroup
+	http *http.Server
+}
+
+// New assembles a server and ingests whatever the perflog tree already
+// holds, so the daemon starts warm.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	store := perfstore.Open(cfg.PerflogRoot)
+	if err := store.Sync(); err != nil {
+		return nil, fmt.Errorf("service: initial ingest: %w", err)
+	}
+	runner := core.New(cfg.InstallTree, "")
+	// The store is the single writer of the perflog tree for daemon
+	// runs: workers append through it so index and files stay in
+	// lockstep (Runner-side logging stays off).
+	s := &Server{
+		cfg:     cfg,
+		store:   store,
+		runner:  runner,
+		queue:   make(chan *Run, cfg.QueueDepth),
+		runs:    map[string]*Run{},
+		started: time.Now(),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Store exposes the underlying perfstore (the CLI-equivalent query
+// path).
+func (s *Server) Store() *perfstore.Store { return s.store }
+
+// Submit validates a run request and enqueues it. It fails fast on an
+// unknown benchmark or system, or when the queue is full.
+func (s *Server) Submit(benchmark, system, specText string, numTasks, tasksPerNode, cpusPerTask int) (*Run, error) {
+	if benchmark == "" || system == "" {
+		return nil, fmt.Errorf("benchmark and system are required")
+	}
+	if _, err := suite.ByName(benchmark); err != nil {
+		return nil, err
+	}
+	if _, _, err := s.runner.Estate.Resolve(system); err != nil {
+		return nil, err
+	}
+	if specText != "" {
+		norm, err := suite.NormalizeModelSpec(specText)
+		if err != nil {
+			return nil, err
+		}
+		specText = norm
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errShuttingDown
+	}
+	s.nextID++
+	run := &Run{
+		ID:           fmt.Sprintf("run-%06d", s.nextID),
+		Benchmark:    benchmark,
+		System:       system,
+		Spec:         specText,
+		NumTasks:     numTasks,
+		TasksPerNode: tasksPerNode,
+		CPUsPerTask:  cpusPerTask,
+		status:       StatusQueued,
+		submitted:    time.Now(),
+	}
+	select {
+	case s.queue <- run:
+		s.runs[run.ID] = run
+		s.order = append(s.order, run.ID)
+		s.mu.Unlock()
+		return run, nil
+	default:
+		s.mu.Unlock()
+		return nil, errQueueFull
+	}
+}
+
+var (
+	errQueueFull    = fmt.Errorf("run queue is full")
+	errShuttingDown = fmt.Errorf("server is shutting down")
+)
+
+// Get returns a run by id.
+func (s *Server) Get(id string) (*Run, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	return r, ok
+}
+
+// worker drains the queue, executing each run through the full
+// pipeline and ingesting its perflog entry.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for run := range s.queue {
+		s.execute(run)
+	}
+}
+
+func (s *Server) execute(run *Run) {
+	run.set(func(r *Run) {
+		r.status = StatusRunning
+		r.started = time.Now()
+	})
+	b, err := suite.ByName(run.Benchmark)
+	if err != nil {
+		s.fail(run, err)
+		return
+	}
+	report, err := s.runner.Run(b, core.Options{
+		System:       run.System,
+		Spec:         run.Spec,
+		NumTasks:     run.NumTasks,
+		TasksPerNode: run.TasksPerNode,
+		CPUsPerTask:  run.CPUsPerTask,
+	})
+	if err != nil {
+		s.fail(run, err)
+		return
+	}
+	entry := report.Entry
+	if err := s.store.Append(entry.System, entry.Benchmark, entry); err != nil {
+		s.fail(run, fmt.Errorf("run executed but ingest failed: %w", err))
+		return
+	}
+	run.set(func(r *Run) {
+		r.status = StatusCompleted
+		r.finished = time.Now()
+		r.entry = entry
+	})
+}
+
+func (s *Server) fail(run *Run, err error) {
+	run.set(func(r *Run) {
+		r.status = StatusFailed
+		r.finished = time.Now()
+		r.err = err.Error()
+	})
+}
+
+// Start serves HTTP on addr until Shutdown. It blocks, returning
+// http.ErrServerClosed after a clean shutdown.
+func (s *Server) Start(addr string) error {
+	s.http = &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       s.cfg.RequestTimeout,
+		WriteTimeout:      2 * s.cfg.RequestTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return s.http.ListenAndServe()
+}
+
+// Shutdown stops accepting work, waits for in-flight HTTP requests
+// (bounded by ctx) and for queued runs to drain, then returns. Pending
+// runs still execute: submitted work is never silently dropped.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	var herr error
+	if s.http != nil {
+		herr = s.http.Shutdown(ctx)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return herr
+}

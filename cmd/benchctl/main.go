@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/postprocess"
 	"repro/internal/suite"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -76,7 +78,8 @@ flags for run/script:
   --perflog DIR        perflog root (default ./perflogs)
   --tree DIR           install tree (default ./install)
   --no-rebuild         reuse cached builds (disables Principle 3)
-  --trace              print the concretizer's decision trace
+  --trace              print the concretizer's decision trace and the
+                       pipeline stage span tree with durations
 `)
 }
 
@@ -92,7 +95,7 @@ func cmdRun(args []string, scriptOnly bool) error {
 	perflogRoot := fs.String("perflog", "perflogs", "perflog root directory")
 	tree := fs.String("tree", "install", "install tree directory")
 	noRebuild := fs.Bool("no-rebuild", false, "reuse cached builds")
-	trace := fs.Bool("trace", false, "print the concretization trace")
+	trace := fs.Bool("trace", false, "print the concretization trace and the stage span tree")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -120,8 +123,16 @@ func cmdRun(args []string, scriptOnly bool) error {
 		runner.PerflogRoot = ""
 	}
 	runner.RebuildEveryRun = !*noRebuild
+	// With --trace, run under a private tracer so each run's span tree
+	// can be printed after it finishes.
+	ctx := context.Background()
+	var tracer *telemetry.Tracer
+	if *trace {
+		tracer = telemetry.NewTracer(len(targets))
+		ctx = telemetry.WithTracer(ctx, tracer)
+	}
 	for i, target := range targets {
-		report, err := runner.Run(b, core.Options{
+		report, err := runner.RunContext(ctx, b, core.Options{
 			System:       strings.TrimSpace(target),
 			Spec:         specOverride,
 			NumTasks:     *numTasks,
@@ -145,6 +156,11 @@ func cmdRun(args []string, scriptOnly bool) error {
 			fmt.Println("concretization trace:")
 			for _, s := range report.SpecTrace {
 				fmt.Println("  " + s)
+			}
+			if traces := tracer.Traces(); len(traces) > 0 {
+				last := traces[len(traces)-1]
+				fmt.Println("stage trace:")
+				fmt.Print(indent(telemetry.RenderTree(last.Root.View())))
 			}
 		}
 		fmt.Printf("build:     %s (simulated %.1fs, root %s)\n",

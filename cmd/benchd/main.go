@@ -13,6 +13,8 @@
 //	curl -s localhost:8080/v1/runs/run-000001
 //	curl -s 'localhost:8080/v1/query?benchmark=babelstream-omp&fom=triad_mbps&agg=mean&group_by=system'
 //	curl -s 'localhost:8080/v1/regressions?fom=triad_mbps&tolerance=0.1&window=5'
+//	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/v1/traces/run-000001
 package main
 
 import (
@@ -20,7 +22,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -28,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -46,9 +49,20 @@ func run(args []string) error {
 	queueDepth := fs.Int("queue", 64, "maximum pending runs")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
 	drain := fs.Duration("drain", 2*time.Minute, "shutdown grace period for queued runs")
+	traceBuf := fs.Int("trace-buffer", 256, "finished run traces kept for /v1/traces")
+	enablePprof := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	logJSON := fs.Bool("log-json", false, "emit logs as JSON instead of text")
+	verbose := fs.Bool("v", false, "debug-level logging")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := telemetry.NewLogger(os.Stderr, level, *logJSON)
+	slog.SetDefault(logger)
 
 	srv, err := service.New(service.Config{
 		PerflogRoot:    *perflogRoot,
@@ -56,14 +70,19 @@ func run(args []string) error {
 		Workers:        *workers,
 		QueueDepth:     *queueDepth,
 		RequestTimeout: *timeout,
+		TraceBuffer:    *traceBuf,
+		EnablePprof:    *enablePprof,
+		Logger:         logger,
 	})
 	if err != nil {
 		return err
 	}
 	stats := srv.Store().Stats()
-	log.Printf("benchd: ingested %d entries (%d systems, %d bytes) from %s",
-		stats.Entries, stats.Systems, stats.BytesParsed, *perflogRoot)
-	log.Printf("benchd: listening on %s (%d workers, queue %d)", *addr, *workers, *queueDepth)
+	logger.Info("perflog tree ingested",
+		"entries", stats.Entries, "systems", stats.Systems,
+		"bytes", stats.BytesParsed, "root", *perflogRoot)
+	logger.Info("listening",
+		"addr", *addr, "workers", *workers, "queue", *queueDepth, "pprof", *enablePprof)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Start(*addr) }()
@@ -75,7 +94,7 @@ func run(args []string) error {
 		return err // listener failed before any signal
 	case <-ctx.Done():
 	}
-	log.Printf("benchd: shutting down, draining queued runs (up to %s)", *drain)
+	logger.Info("shutting down, draining queued runs", "grace", drain.String())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -84,6 +103,6 @@ func run(args []string) error {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	log.Printf("benchd: bye")
+	logger.Info("bye")
 	return nil
 }

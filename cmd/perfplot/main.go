@@ -51,6 +51,7 @@ func run(args []string) error {
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   perfplot table   --perflog DIR                     print the assimilated frame
+                   [--columns benchmark,stage_*]     project columns (trailing * = prefix)
   perfplot bar     --perflog DIR --config FILE       render a configured bar chart
                    [--svg FILE]                      also write an SVG version
   perfplot csv     --perflog DIR --out FILE          export the frame as CSV
@@ -76,6 +77,7 @@ func loadStore(root string) (*perfstore.Store, error) {
 func cmdTable(args []string) error {
 	fs := flag.NewFlagSet("table", flag.ContinueOnError)
 	root := fs.String("perflog", "perflogs", "perflog root")
+	columns := fs.String("columns", "", "comma-separated columns to show; a trailing * matches a prefix")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,6 +88,17 @@ func cmdTable(args []string) error {
 	f, err := postprocess.ToFrame(store.Select(perfstore.Query{}))
 	if err != nil {
 		return err
+	}
+	if *columns != "" {
+		// e.g. --columns benchmark,system,job,stage_* shows where each
+		// run's time went, from the stage extras the runner records.
+		var names []string
+		for _, c := range strings.Split(*columns, ",") {
+			names = append(names, strings.TrimSpace(c))
+		}
+		if f, err = f.SelectColumns(names...); err != nil {
+			return err
+		}
 	}
 	fmt.Print(f.String())
 	return nil

@@ -24,6 +24,7 @@
 package buildsys
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -33,6 +34,23 @@ import (
 
 	"repro/internal/repo"
 	"repro/internal/spec"
+	"repro/internal/telemetry"
+)
+
+// Build-cache metrics: a hit is an install satisfied by an existing
+// prefix, a miss is a node actually (re)built. Externals are neither —
+// they never enter the cache.
+var (
+	metricCacheHits = telemetry.DefaultRegistry.Counter(
+		"buildsys_cache_hits_total",
+		"DAG-node installs satisfied by the install-tree cache.").With()
+	metricCacheMisses = telemetry.DefaultRegistry.Counter(
+		"buildsys_cache_misses_total",
+		"DAG-node installs that performed a build (cold cache or forced rebuild).").With()
+	metricInstalls = telemetry.DefaultRegistry.Counter(
+		"buildsys_installs_total",
+		"DAG-node installs by disposition (built, cached, external).",
+		"state")
 )
 
 // Record is the provenance of one package installation: what was asked
@@ -161,7 +179,16 @@ func lockPrefix(prefix string) *sync.Mutex {
 // and installs every package, returning one Record per DAG node in
 // dependency-before-dependent order with the root last. Nodes whose
 // dependencies are all installed build concurrently on the worker pool.
+// It is InstallContext with a background context.
 func (b *Builder) Install(root *spec.Spec) ([]*Record, error) {
+	return b.InstallContext(context.Background(), root)
+}
+
+// InstallContext is Install with span tracing: each DAG node gets a
+// child span ("build:<name>") under the context's current span, tagged
+// with the node's hash and disposition, and the cache hit/miss counters
+// are bumped per node.
+func (b *Builder) InstallContext(ctx context.Context, root *spec.Spec) ([]*Record, error) {
 	if root == nil {
 		return nil, fmt.Errorf("buildsys: nil spec")
 	}
@@ -232,7 +259,21 @@ func (b *Builder) Install(root *spec.Spec) ([]*Record, error) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
+				_, span := telemetry.Start(ctx, "build:"+s.Name)
 				recs[i], errs[i] = b.installNode(s, s == root)
+				if rec := recs[i]; rec != nil {
+					span.SetAttr("state", rec.State())
+					span.SetAttr("hash", rec.Hash)
+					metricInstalls.With(rec.State()).Inc()
+					switch {
+					case rec.External:
+					case rec.Cached:
+						metricCacheHits.Inc()
+					default:
+						metricCacheMisses.Inc()
+					}
+				}
+				span.End(errs[i])
 			}(i, s)
 		}
 		wg.Wait()

@@ -1,7 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"log/slog"
+	"path/filepath"
 	"time"
 
 	"repro/internal/buildsys"
@@ -14,10 +18,35 @@ import (
 	"repro/internal/platform"
 	"repro/internal/scheduler"
 	"repro/internal/spec"
+	"repro/internal/telemetry"
 )
 
-// Run executes the full pipeline for one benchmark on one system.
+// Pipeline metrics, registered in the default registry so every binary
+// running the pipeline (benchctl, benchd, examples) exposes them.
+var (
+	metricStageSeconds = telemetry.DefaultRegistry.Histogram(
+		"runner_stage_seconds",
+		"Wall-clock duration of each pipeline stage, by stage name.",
+		nil, "stage")
+	metricRunsTotal = telemetry.DefaultRegistry.Counter(
+		"runner_runs_total",
+		"Pipeline runs by outcome (pass, fail, error).",
+		"result")
+)
+
+// Run executes the full pipeline for one benchmark on one system. It is
+// RunContext with a background context.
 func (r *Runner) Run(b Benchmark, opts Options) (*Report, error) {
+	return r.RunContext(context.Background(), b, opts)
+}
+
+// RunContext executes the full pipeline for one benchmark on one
+// system, tracing every stage: the run produces a span tree (resolve →
+// concretize → build → schedule → extract → append) published to the
+// context's tracer, per-stage wall-clock durations in the
+// runner_stage_seconds histogram, and stage_*_s extras in the perflog
+// entry so stage timings are queryable alongside the FOMs.
+func (r *Runner) RunContext(ctx context.Context, b Benchmark, opts Options) (report *Report, err error) {
 	if b == nil {
 		return nil, fmt.Errorf("core: nil benchmark")
 	}
@@ -28,11 +57,43 @@ func (r *Runner) Run(b Benchmark, opts Options) (*Report, error) {
 	if now == nil {
 		now = time.Now
 	}
-	report := &Report{Benchmark: b.Name(), EnvBefore: env.CaptureEnvironment()}
+	report = &Report{Benchmark: b.Name(), EnvBefore: env.CaptureEnvironment()}
+
+	ctx, root := telemetry.Start(ctx, "run",
+		telemetry.String("benchmark", b.Name()),
+		telemetry.String("system", opts.System))
+	stageSeconds := map[string]float64{}
+	defer func() {
+		switch {
+		case err != nil:
+			metricRunsTotal.With("error").Inc()
+		case report.Pass():
+			metricRunsTotal.With("pass").Inc()
+		default:
+			metricRunsTotal.With("fail").Inc()
+		}
+		root.End(err)
+	}()
+	// stage wraps one pipeline stage in a child span and records its
+	// wall-clock duration under the given name.
+	stage := func(name string, f func(context.Context) error) error {
+		sctx, span := telemetry.Start(ctx, name)
+		serr := f(sctx)
+		span.End(serr)
+		d := span.Duration().Seconds()
+		stageSeconds[name] = d
+		metricStageSeconds.With(name).Observe(d)
+		return serr
+	}
 
 	// 1. Resolve the platform.
-	sys, part, err := r.Estate.Resolve(opts.System)
-	if err != nil {
+	var sys *platform.System
+	var part *platform.Partition
+	if err := stage("resolve", func(context.Context) error {
+		var rerr error
+		sys, part, rerr = r.Estate.Resolve(opts.System)
+		return rerr
+	}); err != nil {
 		return nil, err
 	}
 	report.System = sys.Name
@@ -45,13 +106,17 @@ func (r *Runner) Run(b Benchmark, opts Options) (*Report, error) {
 	if opts.Spec != "" {
 		specText = opts.Spec
 	}
-	abstract, err := spec.Parse(specText)
-	if err != nil {
-		return nil, err
-	}
 	cfg := r.Envs.ForSystem(sys.Name)
-	conc, err := concretize.Concretize(abstract, cfg.ConcretizeOptions(r.Repo, string(part.Processor.Arch)))
-	if err != nil {
+	var conc *concretize.Result
+	if err := stage("concretize", func(context.Context) error {
+		abstract, perr := spec.Parse(specText)
+		if perr != nil {
+			return perr
+		}
+		var cerr error
+		conc, cerr = concretize.Concretize(abstract, cfg.ConcretizeOptions(r.Repo, string(part.Processor.Arch)))
+		return cerr
+	}); err != nil {
 		return nil, err
 	}
 	report.Spec = conc.Spec
@@ -60,16 +125,20 @@ func (r *Runner) Run(b Benchmark, opts Options) (*Report, error) {
 	// 3. Build (Principles 2-3). The builder returns one provenance
 	// record per DAG node, root last; the root's prefix holds the
 	// binary the job launches.
-	builder := buildsys.NewBuilder(r.InstallTree, r.Repo)
-	builder.RebuildEveryRun = r.RebuildEveryRun
-	records, err := builder.Install(conc.Spec)
-	if err != nil {
+	var records []*buildsys.Record
+	if err := stage("build", func(sctx context.Context) error {
+		builder := buildsys.NewBuilder(r.InstallTree, r.Repo)
+		builder.RebuildEveryRun = r.RebuildEveryRun
+		var berr error
+		records, berr = builder.InstallContext(sctx, conc.Spec)
+		return berr
+	}); err != nil {
 		return nil, err
 	}
 	report.Builds = records
 	report.BuildTime = buildsys.TotalBuildTime(records)
 	rootBuild := records[len(records)-1]
-	exePath := rootBuild.Prefix + "/bin/" + conc.Spec.Name
+	exePath := filepath.Join(rootBuild.Prefix, "bin", conc.Spec.Name)
 
 	// 4. Assemble the job.
 	layout := b.DefaultLayout()
@@ -116,21 +185,45 @@ func (r *Runner) Run(b Benchmark, opts Options) (*Report, error) {
 		Commands:     []string{launch.Command(layout, exePath, b.Args())},
 	}
 
-	// 5. Schedule and execute.
-	sched, err := r.schedulerFor(sys, part, b, conc.Spec, layout)
-	if err != nil {
-		return nil, err
-	}
-	report.JobScript = sched.Script(job)
-	id, err := sched.Submit(job)
-	if err != nil {
-		return nil, err
-	}
-	info, err := sched.Wait(id)
-	if err != nil {
+	// 5. Schedule and execute. The span's wall time covers submission
+	// through completion; the queue/execute split below comes from the
+	// scheduler's own job accounting (real seconds on the local
+	// scheduler, simulated seconds on the batch simulators).
+	var info *scheduler.Info
+	if err := stage("schedule", func(sctx context.Context) error {
+		sched, serr := r.schedulerFor(sys, part, b, conc.Spec, layout)
+		if serr != nil {
+			return serr
+		}
+		report.JobScript = sched.Script(job)
+		id, serr := sched.Submit(job)
+		if serr != nil {
+			return serr
+		}
+		info, serr = sched.Wait(id)
+		if serr != nil {
+			return serr
+		}
+		if span := telemetry.FromContext(sctx); span != nil {
+			span.SetAttr("job_id", fmt.Sprint(info.ID))
+			span.SetAttr("state", info.State.String())
+		}
+		slog.Default().DebugContext(sctx, "job finished",
+			"job_id", info.ID, "state", info.State.String(),
+			"queue_s", info.QueueWait(), "runtime_s", info.Runtime())
+		return nil
+	}); err != nil {
 		return nil, err
 	}
 	report.Job = info
+	if q := info.QueueWait(); q >= 0 {
+		stageSeconds["queue"] = q
+		metricStageSeconds.With("queue").Observe(q)
+	}
+	if rt := info.Runtime(); rt >= 0 {
+		stageSeconds["execute"] = rt
+		metricStageSeconds.With("execute").Observe(rt)
+	}
 
 	// 6. Sanity and FOM extraction (Principle 6), then the perflog.
 	entry := &perflog.Entry{
@@ -161,25 +254,39 @@ func (r *Runner) Run(b Benchmark, opts Options) (*Report, error) {
 		},
 	}
 	report.Entry = entry
-	if info.State == scheduler.Completed {
-		if err := b.Sanity().Check(info.Stdout); err == nil {
-			foms, ferr := fom.Extract(info.Stdout, b.PerfPatterns())
-			if ferr == nil {
-				entry.FOMs = foms
-				entry.Result = "pass"
-			} else {
-				entry.Extra["error"] = ferr.Error()
-			}
-		} else {
-			entry.Extra["error"] = err.Error()
+	if err := stage("extract", func(context.Context) error {
+		if info.State != scheduler.Completed {
+			entry.Extra["error"] = fmt.Sprintf("job state %s: %s", info.State, info.Stderr)
+			return nil
 		}
-	} else {
-		entry.Extra["error"] = fmt.Sprintf("job state %s: %s", info.State, info.Stderr)
+		if serr := b.Sanity().Check(info.Stdout); serr != nil {
+			entry.Extra["error"] = serr.Error()
+			return nil
+		}
+		foms, ferr := fom.Extract(info.Stdout, b.PerfPatterns())
+		if ferr != nil {
+			entry.Extra["error"] = ferr.Error()
+			return nil
+		}
+		entry.FOMs = foms
+		entry.Result = "pass"
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	report.FOMs = entry.FOMs
 
+	// Stage timings become FOM-adjacent queryable data (the harness is
+	// part of what determines a result). The append stage's own
+	// duration cannot land in the entry it writes; it is span-only.
+	for name, d := range stageSeconds {
+		entry.Extra["stage_"+name+"_s"] = fmt.Sprintf("%.6f", d)
+	}
+
 	if r.PerflogRoot != "" {
-		if err := perflog.Append(r.PerflogRoot, sys.Name, b.Name(), entry); err != nil {
+		if err := stage("append", func(context.Context) error {
+			return perflog.Append(r.PerflogRoot, sys.Name, b.Name(), entry)
+		}); err != nil {
 			return report, err
 		}
 	}
@@ -227,19 +334,33 @@ func (r *Runner) schedulerFor(sys *platform.System, part *platform.Partition, b 
 	}
 }
 
-// RunMany runs the benchmark across several systems, returning one report
-// per target — the cross-system survey loop the framework makes cheap
-// (the paper's §3.3 "single workflow" point).
+// RunMany runs the benchmark across several systems, returning one
+// report per target that completed the pipeline — the cross-system
+// survey loop the framework makes cheap (the paper's §3.3 "single
+// workflow" point).
+//
+// A failing target does not abort the survey: the remaining systems
+// still run (and still append their perflog entries), and the per-target
+// errors are collected into one aggregate error (errors.Join), each
+// wrapped with its benchmark and system. Reports are returned for the
+// successful targets, in target order; callers that need all targets to
+// succeed must check the returned error, not the report count alone.
 func (r *Runner) RunMany(b Benchmark, targets []string, base Options) ([]*Report, error) {
 	var out []*Report
+	var errs []error
 	for _, target := range targets {
 		opts := base
 		opts.System = target
 		rep, err := r.Run(b, opts)
 		if err != nil {
-			return out, fmt.Errorf("core: %s on %s: %w", b.Name(), target, err)
+			name := "benchmark"
+			if b != nil {
+				name = b.Name()
+			}
+			errs = append(errs, fmt.Errorf("core: %s on %s: %w", name, target, err))
+			continue
 		}
 		out = append(out, rep)
 	}
-	return out, nil
+	return out, errors.Join(errs...)
 }

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -11,6 +14,7 @@ import (
 	"repro/internal/fom"
 	"repro/internal/launcher"
 	"repro/internal/perflog"
+	"repro/internal/telemetry"
 )
 
 // echoBenchmark is a minimal benchmark whose payload emits a fixed FOM.
@@ -317,5 +321,123 @@ func TestEnergyEstimateRecorded(t *testing.T) {
 	// 10 s on one 450 W Rome node.
 	if joules < 4000 || joules > 5000 {
 		t.Errorf("energy = %g J, want ~4500", joules)
+	}
+}
+
+func TestStageDurationExtras(t *testing.T) {
+	r := testRunner(t)
+	// A 1ms payload keeps the local scheduler's job clock comparable to
+	// wall time (the default echoBenchmark claims a simulated 3s).
+	b := &echoBenchmark{name: "echo", elapsed: time.Millisecond}
+	t0 := time.Now()
+	rep, err := r.Run(b, Options{System: "local"})
+	wall := time.Since(t0).Seconds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := []string{"resolve", "concretize", "build", "schedule", "queue", "execute", "extract"}
+	var sum float64
+	for _, s := range stages {
+		key := "stage_" + s + "_s"
+		text, ok := rep.Entry.Extra[key]
+		if !ok {
+			t.Fatalf("entry missing %s; extras = %v", key, rep.Entry.Extra)
+		}
+		v, perr := strconv.ParseFloat(text, 64)
+		if perr != nil || v < 0 {
+			t.Fatalf("%s = %q, want non-negative float", key, text)
+		}
+		sum += v
+	}
+	// On the local scheduler every stage is wall-clock (queue is 0 and
+	// execute is real elapsed time), so the stage durations must sum to
+	// approximately the total pipeline time — never more than the
+	// whole Run took (schedule overlaps queue+execute, hence the 2x
+	// allowance on the upper bound), and at least the execute time.
+	jobRuntime, _ := strconv.ParseFloat(rep.Entry.Extra["job_runtime_s"], 64)
+	execS, _ := strconv.ParseFloat(rep.Entry.Extra["stage_execute_s"], 64)
+	if math.Abs(execS-jobRuntime) > 1e-9 {
+		t.Errorf("stage_execute_s = %g, want job_runtime_s = %g", execS, jobRuntime)
+	}
+	if sum > 2*wall+0.05 {
+		t.Errorf("stage sum %.6fs implausibly exceeds pipeline wall time %.6fs", sum, wall)
+	}
+	if sum < execS {
+		t.Errorf("stage sum %.6f < execute stage %.6f", sum, execS)
+	}
+	// A simulated-scheduler run records the scheduler's job clock for
+	// queue/execute (not wall time) — and the extras survive the
+	// perflog round trip.
+	rep2, err := r.Run(b, Options{System: "archer2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec2, _ := strconv.ParseFloat(rep2.Entry.Extra["stage_execute_s"], 64)
+	rt2, _ := strconv.ParseFloat(rep2.Entry.Extra["job_runtime_s"], 64)
+	if math.Abs(exec2-rt2) > 1e-9 {
+		t.Errorf("simulated stage_execute_s = %g, want %g", exec2, rt2)
+	}
+	entries, err := perflog.Read(filepath.Join(r.PerflogRoot, "archer2", "echo.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := entries[len(entries)-1].Extra["stage_build_s"]; got == "" {
+		t.Error("stage_build_s missing from the perflog round trip")
+	}
+}
+
+func TestRunContextPublishesTrace(t *testing.T) {
+	r := testRunner(t)
+	tr := telemetry.NewTracer(4)
+	ctx := telemetry.WithTraceID(telemetry.WithTracer(context.Background(), tr), "run-test-1")
+	if _, err := r.RunContext(ctx, &echoBenchmark{name: "echo"}, Options{System: "archer2"}); err != nil {
+		t.Fatal(err)
+	}
+	trace, ok := tr.Get("run-test-1")
+	if !ok {
+		t.Fatalf("trace not published; have %d traces", tr.Len())
+	}
+	v := trace.Root.View()
+	if v.Name != "run" || v.Attrs["benchmark"] != "echo" || v.Attrs["system"] != "archer2" {
+		t.Errorf("root = %+v", v)
+	}
+	byName := map[string]telemetry.SpanView{}
+	for _, c := range v.Children {
+		byName[c.Name] = c
+	}
+	for _, want := range []string{"resolve", "concretize", "build", "schedule", "extract", "append"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("trace missing stage span %q", want)
+		}
+	}
+	if len(byName["build"].Children) == 0 {
+		t.Error("build span has no per-DAG-node children")
+	}
+	if byName["schedule"].Attrs["state"] != "COMPLETED" {
+		t.Errorf("schedule span attrs = %v", byName["schedule"].Attrs)
+	}
+}
+
+func TestRunManyCollectsPerTargetErrors(t *testing.T) {
+	r := testRunner(t)
+	b := &echoBenchmark{name: "echo"}
+	reports, err := r.RunMany(b, []string{"archer2", "no-such-system", "csd3"}, Options{})
+	if err == nil {
+		t.Fatal("want an aggregate error for the unknown system")
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d, want 2 (survey must continue past the failure)", len(reports))
+	}
+	if reports[0].System != "archer2" || reports[1].System != "csd3" {
+		t.Errorf("report systems = %s, %s", reports[0].System, reports[1].System)
+	}
+	if !strings.Contains(err.Error(), "no-such-system") {
+		t.Errorf("aggregate error does not name the failing target: %v", err)
+	}
+	// Both healthy systems still produced perflog entries.
+	for _, sys := range []string{"archer2", "csd3"} {
+		if _, serr := perflog.Read(filepath.Join(r.PerflogRoot, sys, "echo.log")); serr != nil {
+			t.Errorf("perflog for %s: %v", sys, serr)
+		}
 	}
 }

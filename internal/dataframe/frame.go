@@ -187,6 +187,39 @@ func (f *Frame) Str(col string, row int) (string, error) {
 	return c.Str(row), nil
 }
 
+// SelectColumns builds a new frame projecting the named columns, in the
+// order given. A name ending in "*" selects every column with that
+// prefix, in insertion order — "stage_*" pulls in the per-stage duration
+// extras the runner records. The projection shares column storage with f.
+func (f *Frame) SelectColumns(names ...string) (*Frame, error) {
+	out := New()
+	for _, name := range names {
+		if prefix, ok := strings.CutSuffix(name, "*"); ok {
+			found := false
+			for _, c := range f.cols {
+				if strings.HasPrefix(c.Name, prefix) {
+					found = true
+					if !out.Has(c.Name) {
+						out.addColumn(c)
+					}
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("dataframe: no columns match %q (have %v)", name, f.Columns())
+			}
+			continue
+		}
+		c, err := f.Col(name)
+		if err != nil {
+			return nil, err
+		}
+		if !out.Has(name) {
+			out.addColumn(c)
+		}
+	}
+	return out, nil
+}
+
 // selectRows builds a new frame holding the given row indices of f.
 func (f *Frame) selectRows(rows []int) *Frame {
 	out := New()

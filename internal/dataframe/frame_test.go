@@ -393,3 +393,34 @@ func TestSaveLoadCSV(t *testing.T) {
 		t.Error("missing file accepted")
 	}
 }
+
+func TestSelectColumns(t *testing.T) {
+	f := sampleFrame(t)
+	got, err := f.SelectColumns("dofs", "system")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols := got.Columns(); len(cols) != 2 || cols[0] != "dofs" || cols[1] != "system" {
+		t.Errorf("columns = %v", cols)
+	}
+	if got.NumRows() != 5 {
+		t.Errorf("rows = %d", got.NumRows())
+	}
+
+	// A trailing * selects by prefix, in insertion order, and repeats
+	// are dropped.
+	got, err = f.SelectColumns("system", "l*", "level")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols := got.Columns(); len(cols) != 2 || cols[1] != "level" {
+		t.Errorf("columns = %v", cols)
+	}
+
+	if _, err := f.SelectColumns("nope"); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := f.SelectColumns("zz*"); err == nil {
+		t.Error("unmatched prefix accepted")
+	}
+}

@@ -24,8 +24,30 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/perflog"
+	"repro/internal/telemetry"
+)
+
+// Ingest metrics: how much work the incremental sync is doing. A warm
+// store scanning an unchanged tree grows files_scanned but neither
+// bytes nor entries — the checkpoint test's "zero parsed bytes"
+// invariant, observable from /metrics.
+var (
+	metricIngestBytes = telemetry.DefaultRegistry.Counter(
+		"perfstore_ingest_bytes_total",
+		"Perflog bytes parsed by incremental ingest.").With()
+	metricIngestEntries = telemetry.DefaultRegistry.Counter(
+		"perfstore_ingest_entries_total",
+		"Perflog entries added to the store by ingest.").With()
+	metricIngestFiles = telemetry.DefaultRegistry.Counter(
+		"perfstore_ingest_files_scanned_total",
+		"Perflog files examined by ingest (including no-op checkpoint hits).").With()
+	metricSyncSeconds = telemetry.DefaultRegistry.Histogram(
+		"perfstore_sync_seconds",
+		"Wall-clock duration of one SyncFile call.",
+		nil).With()
 )
 
 // shardCount fixes the number of index shards. Sharding is by system:
@@ -119,6 +141,8 @@ func (s *Store) Sync() error {
 // or rewritten, so its previous entries are evicted and it is re-read
 // from the start.
 func (s *Store) SyncFile(path string) error {
+	start := time.Now()
+	defer func() { metricSyncSeconds.Observe(time.Since(start).Seconds()) }()
 	s.ckMu.Lock()
 	ck := s.ck[path]
 	if ck == nil {
@@ -230,6 +254,9 @@ func (s *Store) bumpStats(files int, bytes int64, added int) {
 	s.stats.bytesParsed += bytes
 	s.stats.entriesAdded += added
 	s.stats.Unlock()
+	metricIngestFiles.Add(float64(files))
+	metricIngestBytes.Add(float64(bytes))
+	metricIngestEntries.Add(float64(added))
 }
 
 // Stats reports cumulative ingest counters and current index size.

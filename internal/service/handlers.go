@@ -5,25 +5,92 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"strconv"
 	"time"
 
 	"repro/internal/perflog"
 	"repro/internal/perfstore"
+	"repro/internal/telemetry"
 )
+
+// HTTP-layer metrics: one requests counter per (route, method, code),
+// an in-flight gauge, and a per-route latency histogram. Routes are the
+// registered patterns, not raw URLs, so cardinality stays bounded.
+var (
+	metricHTTPRequests = telemetry.DefaultRegistry.Counter(
+		"benchd_http_requests_total",
+		"HTTP requests served, by route pattern, method, and status code.",
+		"route", "method", "code")
+	metricHTTPInFlight = telemetry.DefaultRegistry.Gauge(
+		"benchd_http_in_flight",
+		"HTTP requests currently being served.").With()
+	metricHTTPSeconds = telemetry.DefaultRegistry.Histogram(
+		"benchd_http_request_seconds",
+		"HTTP request latency by route pattern.",
+		nil, "route")
+	metricGoroutines = telemetry.DefaultRegistry.Gauge(
+		"benchd_goroutines",
+		"Goroutines alive in the daemon process (sampled at scrape).").With()
+)
+
+// statusWriter captures the response code for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the HTTP metrics, labelled by route.
+func instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		metricHTTPInFlight.Inc()
+		defer metricHTTPInFlight.Dec()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		metricHTTPSeconds.With(route).Observe(time.Since(start).Seconds())
+		metricHTTPRequests.With(route, r.Method, strconv.Itoa(sw.code)).Inc()
+	}
+}
 
 // Handler returns the daemon's routed HTTP handler with the request
 // timeout applied. Exposed separately from Start so tests can mount it
 // on an httptest server.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/runs", s.handleListRuns)
-	mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
-	mux.HandleFunc("GET /v1/query", s.handleQuery)
-	mux.HandleFunc("GET /v1/regressions", s.handleRegressions)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	return http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, instrument(route, h))
+	}
+	handle("POST /v1/runs", "/v1/runs", s.handleSubmit)
+	handle("GET /v1/runs", "/v1/runs", s.handleListRuns)
+	handle("GET /v1/runs/{id}", "/v1/runs/{id}", s.handleGetRun)
+	handle("GET /v1/query", "/v1/query", s.handleQuery)
+	handle("GET /v1/regressions", "/v1/regressions", s.handleRegressions)
+	handle("GET /v1/traces", "/v1/traces", s.handleListTraces)
+	handle("GET /v1/traces/{id}", "/v1/traces/{id}", s.handleGetTrace)
+	handle("GET /healthz", "/healthz", s.handleHealth)
+	handle("GET /metrics", "/metrics", s.handleMetrics)
+	inner := http.Handler(http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request timed out"}`))
+	if !s.cfg.EnablePprof {
+		return inner
+	}
+	// pprof mounts outside the timeout handler: profile captures
+	// legitimately run longer than the API request budget
+	// (e.g. /debug/pprof/profile?seconds=30).
+	outer := http.NewServeMux()
+	outer.HandleFunc("/debug/pprof/", pprof.Index)
+	outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	outer.Handle("/", inner)
+	return outer
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -265,6 +332,67 @@ func (s *Server) handleRegressions(w http.ResponseWriter, r *http.Request) {
 		"tolerance":   tolerance,
 		"window":      window,
 	})
+}
+
+// handleMetrics serves GET /metrics in Prometheus text exposition
+// format. Everything registered against telemetry.DefaultRegistry —
+// runner stages, buildsys cache hits, perfstore ingest, and the daemon's
+// own HTTP/queue families — shows up here.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	metricGoroutines.Set(float64(runtime.NumGoroutine()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	telemetry.DefaultRegistry.WritePrometheus(w)
+}
+
+// traceSummary is one retained trace in the /v1/traces listing.
+type traceSummary struct {
+	ID        string    `json:"id"`
+	Name      string    `json:"name"`
+	Start     time.Time `json:"start"`
+	DurationS float64   `json:"duration_s"`
+	Error     string    `json:"error,omitempty"`
+	Spans     int       `json:"spans"`
+}
+
+func countSpans(v telemetry.SpanView) int {
+	n := 1
+	for _, c := range v.Children {
+		n += countSpans(c)
+	}
+	return n
+}
+
+// handleListTraces serves GET /v1/traces: summaries of the retained run
+// traces, newest first.
+func (s *Server) handleListTraces(w http.ResponseWriter, r *http.Request) {
+	traces := s.tracer.Traces()
+	views := make([]traceSummary, 0, len(traces))
+	for i := len(traces) - 1; i >= 0; i-- {
+		t := traces[i]
+		v := t.Root.View()
+		views = append(views, traceSummary{
+			ID:        t.ID,
+			Name:      v.Name,
+			Start:     v.Start,
+			DurationS: v.DurationS,
+			Error:     v.Error,
+			Spans:     countSpans(v),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": views, "count": len(views)})
+}
+
+// handleGetTrace serves GET /v1/traces/{id}: the full span tree of one
+// run. Trace ids are run ids, so the id from POST /v1/runs works here
+// once the run finishes.
+func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	t, ok := s.tracer.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no trace for %q (traces are kept for finished runs only)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": t.ID, "root": t.Root.View()})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

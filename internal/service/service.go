@@ -10,6 +10,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
@@ -18,6 +19,22 @@ import (
 	"repro/internal/perflog"
 	"repro/internal/perfstore"
 	"repro/internal/suite"
+	"repro/internal/telemetry"
+)
+
+// Daemon metrics. HTTP-layer families live in handlers.go; these cover
+// the run queue and worker pool.
+var (
+	metricRunsTotal = telemetry.DefaultRegistry.Counter(
+		"benchd_runs_total",
+		"Submitted runs by terminal status (completed, failed).",
+		"status")
+	metricQueueDepth = telemetry.DefaultRegistry.Gauge(
+		"benchd_queue_depth",
+		"Runs currently waiting in the submission queue.").With()
+	metricRunsInFlight = telemetry.DefaultRegistry.Gauge(
+		"benchd_runs_in_flight",
+		"Runs currently executing on the worker pool.").With()
 )
 
 // Config sizes the daemon.
@@ -33,6 +50,15 @@ type Config struct {
 	QueueDepth int
 	// RequestTimeout bounds each HTTP request (default 30s).
 	RequestTimeout time.Duration
+	// TraceBuffer bounds the in-memory ring of recent run traces served
+	// by /v1/traces (default 256).
+	TraceBuffer int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (opt-in:
+	// profiling endpoints expose internals and cost CPU when scraped).
+	EnablePprof bool
+	// Logger receives structured run-lifecycle logs (default
+	// slog.Default).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -44,6 +70,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
+	}
+	if c.TraceBuffer <= 0 {
+		c.TraceBuffer = 256
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
 	}
 	return c
 }
@@ -88,6 +120,7 @@ type Server struct {
 	cfg    Config
 	store  *perfstore.Store
 	runner *core.Runner
+	tracer *telemetry.Tracer
 
 	queue chan *Run
 
@@ -118,6 +151,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		store:   store,
 		runner:  runner,
+		tracer:  telemetry.NewTracer(cfg.TraceBuffer),
 		queue:   make(chan *Run, cfg.QueueDepth),
 		runs:    map[string]*Run{},
 		started: time.Now(),
@@ -134,10 +168,19 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Store() *perfstore.Store { return s.store }
 
 // Submit validates a run request and enqueues it. It fails fast on an
-// unknown benchmark or system, or when the queue is full.
+// unknown benchmark or system, a negative layout override, or when the
+// queue is full.
 func (s *Server) Submit(benchmark, system, specText string, numTasks, tasksPerNode, cpusPerTask int) (*Run, error) {
 	if benchmark == "" || system == "" {
 		return nil, fmt.Errorf("benchmark and system are required")
+	}
+	// Layout overrides are "0 = use the benchmark default"; negative
+	// values would otherwise flow unchecked into the runner and job
+	// script (the runner only overrides on > 0, silently masking the
+	// caller's mistake).
+	if numTasks < 0 || tasksPerNode < 0 || cpusPerTask < 0 {
+		return nil, fmt.Errorf("layout overrides must be non-negative (num_tasks=%d, tasks_per_node=%d, cpus_per_task=%d)",
+			numTasks, tasksPerNode, cpusPerTask)
 	}
 	if _, err := suite.ByName(benchmark); err != nil {
 		return nil, err
@@ -174,6 +217,9 @@ func (s *Server) Submit(benchmark, system, specText string, numTasks, tasksPerNo
 		s.runs[run.ID] = run
 		s.order = append(s.order, run.ID)
 		s.mu.Unlock()
+		metricQueueDepth.Set(float64(len(s.queue)))
+		s.cfg.Logger.Info("run submitted",
+			"run_id", run.ID, "benchmark", benchmark, "system", system)
 		return run, nil
 	default:
 		s.mu.Unlock()
@@ -204,16 +250,29 @@ func (s *Server) worker() {
 }
 
 func (s *Server) execute(run *Run) {
+	metricQueueDepth.Set(float64(len(s.queue)))
+	metricRunsInFlight.Inc()
+	defer metricRunsInFlight.Dec()
 	run.set(func(r *Run) {
 		r.status = StatusRunning
 		r.started = time.Now()
 	})
+	// The run's trace publishes under its run id, so GET
+	// /v1/traces/{runID} returns the span tree for the submitted run;
+	// the run_id attribute lands on the root span and therefore on
+	// every pipeline log line (via telemetry.ContextHandler).
+	ctx := telemetry.WithTraceID(telemetry.WithTracer(context.Background(), s.tracer), run.ID)
+	ctx, span := telemetry.Start(ctx, "benchd.run",
+		telemetry.String("run_id", run.ID),
+		telemetry.String("benchmark", run.Benchmark),
+		telemetry.String("system", run.System))
+	s.cfg.Logger.InfoContext(ctx, "run started")
 	b, err := suite.ByName(run.Benchmark)
 	if err != nil {
-		s.fail(run, err)
+		s.fail(ctx, span, run, err)
 		return
 	}
-	report, err := s.runner.Run(b, core.Options{
+	report, err := s.runner.RunContext(ctx, b, core.Options{
 		System:       run.System,
 		Spec:         run.Spec,
 		NumTasks:     run.NumTasks,
@@ -221,27 +280,34 @@ func (s *Server) execute(run *Run) {
 		CPUsPerTask:  run.CPUsPerTask,
 	})
 	if err != nil {
-		s.fail(run, err)
+		s.fail(ctx, span, run, err)
 		return
 	}
 	entry := report.Entry
 	if err := s.store.Append(entry.System, entry.Benchmark, entry); err != nil {
-		s.fail(run, fmt.Errorf("run executed but ingest failed: %w", err))
+		s.fail(ctx, span, run, fmt.Errorf("run executed but ingest failed: %w", err))
 		return
 	}
+	span.End(nil)
+	metricRunsTotal.With(StatusCompleted).Inc()
 	run.set(func(r *Run) {
 		r.status = StatusCompleted
 		r.finished = time.Now()
 		r.entry = entry
 	})
+	s.cfg.Logger.InfoContext(ctx, "run completed",
+		"result", entry.Result, "duration_s", span.Duration().Seconds())
 }
 
-func (s *Server) fail(run *Run, err error) {
+func (s *Server) fail(ctx context.Context, span *telemetry.Span, run *Run, err error) {
+	span.End(err)
+	metricRunsTotal.With(StatusFailed).Inc()
 	run.set(func(r *Run) {
 		r.status = StatusFailed
 		r.finished = time.Now()
 		r.err = err.Error()
 	})
+	s.cfg.Logger.ErrorContext(ctx, "run failed", "error", err.Error())
 }
 
 // Start serves HTTP on addr until Shutdown. It blocks, returning

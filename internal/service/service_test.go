@@ -4,14 +4,17 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/fom"
 	"repro/internal/perflog"
+	"repro/internal/telemetry"
 )
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
@@ -225,6 +228,9 @@ func TestSubmitValidation(t *testing.T) {
 		{"unknown benchmark", `{"benchmark":"linpack","system":"archer2"}`},
 		{"unknown system", `{"benchmark":"babelstream-omp","system":"summit"}`},
 		{"bad spec", `{"benchmark":"babelstream-omp","system":"archer2","spec":"@bad"}`},
+		{"negative num_tasks", `{"benchmark":"babelstream-omp","system":"archer2","num_tasks":-4}`},
+		{"negative tasks_per_node", `{"benchmark":"babelstream-omp","system":"archer2","tasks_per_node":-1}`},
+		{"negative cpus_per_task", `{"benchmark":"babelstream-omp","system":"archer2","cpus_per_task":-8}`},
 	}
 	for _, tc := range cases {
 		var e struct {
@@ -417,5 +423,216 @@ func TestFailedRunIsReported(t *testing.T) {
 			t.Fatalf("run stuck: %+v", v)
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// submitAndWait pushes one run through the HTTP API and polls it to a
+// terminal status.
+func submitAndWait(t *testing.T, ts *httptest.Server, body string) runView {
+	t.Helper()
+	var submitted runView
+	if code := postJSON(t, ts.URL+"/v1/runs", body, &submitted); code != http.StatusAccepted {
+		t.Fatalf("submit status = %d", code)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var v runView
+		if code := getJSON(t, ts.URL+"/v1/runs/"+submitted.ID, &v); code != http.StatusOK {
+			t.Fatalf("poll status = %d", code)
+		}
+		if v.Status == StatusCompleted || v.Status == StatusFailed {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run %s stuck: %+v", submitted.ID, v)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// sampleValue finds the exposition line for one series and returns its
+// value, failing the test if the series is absent.
+func sampleValue(t *testing.T, body, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, series+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line, series+" "), 64)
+		if err != nil {
+			t.Fatalf("bad sample line %q: %v", line, err)
+		}
+		return v
+	}
+	t.Errorf("series %s not found in /metrics", series)
+	return 0
+}
+
+// TestMetricsEndpoint scrapes /metrics after a completed run and checks
+// the exposition output carries both the daemon's HTTP families and the
+// runner's stage histogram with observed samples.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	if v := submitAndWait(t, ts, `{"benchmark":"babelstream-omp","system":"archer2"}`); v.Status != StatusCompleted {
+		t.Fatalf("run = %+v", v)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	// Families from every instrumented layer are present in one scrape.
+	for _, want := range []string{
+		"# TYPE benchd_http_requests_total counter",
+		"# TYPE benchd_runs_total counter",
+		"# TYPE benchd_queue_depth gauge",
+		"# TYPE runner_stage_seconds histogram",
+		"# TYPE buildsys_installs_total counter",
+		"# TYPE perfstore_ingest_entries_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q in /metrics", want)
+		}
+	}
+	// The run left samples behind, not just empty families. Counters are
+	// process-global, so assert >= 1 rather than exact counts (other
+	// tests in this package complete runs too).
+	for _, series := range []string{
+		`benchd_runs_total{status="completed"}`,
+		`runner_stage_seconds_count{stage="build"}`,
+		`benchd_http_requests_total{route="/v1/runs",method="POST",code="202"}`,
+	} {
+		if v := sampleValue(t, body, series); v < 1 {
+			t.Errorf("sample %s = %v, want >= 1", series, v)
+		}
+	}
+	// Every non-comment line is "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[i+1:], 64); err != nil {
+			t.Errorf("non-numeric sample value in %q", line)
+		}
+	}
+}
+
+// TestTraceEndpoints verifies a finished run's span tree is retrievable
+// under its run id, and the listing summarizes it.
+func TestTraceEndpoints(t *testing.T) {
+	_, ts := newTestServer(t)
+	v := submitAndWait(t, ts, `{"benchmark":"babelstream-omp","system":"archer2"}`)
+	if v.Status != StatusCompleted {
+		t.Fatalf("run = %+v", v)
+	}
+
+	var trace struct {
+		ID   string             `json:"id"`
+		Root telemetry.SpanView `json:"root"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/traces/"+v.ID, &trace); code != http.StatusOK {
+		t.Fatalf("trace status = %d", code)
+	}
+	if trace.ID != v.ID || trace.Root.Name != "benchd.run" {
+		t.Fatalf("trace = %+v", trace)
+	}
+	if trace.Root.Attrs["run_id"] != v.ID {
+		t.Errorf("root attrs = %v", trace.Root.Attrs)
+	}
+	// The pipeline stages hang off the runner's "run" span.
+	stages := map[string]bool{}
+	var walk func(telemetry.SpanView)
+	walk = func(sv telemetry.SpanView) {
+		stages[sv.Name] = true
+		for _, c := range sv.Children {
+			walk(c)
+		}
+	}
+	walk(trace.Root)
+	for _, want := range []string{"run", "concretize", "build", "schedule", "extract"} {
+		if !stages[want] {
+			t.Errorf("trace missing stage span %q (got %v)", want, stages)
+		}
+	}
+
+	var list struct {
+		Traces []struct {
+			ID    string `json:"id"`
+			Name  string `json:"name"`
+			Spans int    `json:"spans"`
+		} `json:"traces"`
+		Count int `json:"count"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/traces", &list); code != http.StatusOK {
+		t.Fatalf("list status = %d", code)
+	}
+	if list.Count != 1 || list.Traces[0].ID != v.ID || list.Traces[0].Spans < 5 {
+		t.Fatalf("list = %+v", list)
+	}
+
+	var e struct {
+		Error string `json:"error"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/traces/run-999999", &e); code != http.StatusNotFound || e.Error == "" {
+		t.Errorf("missing trace: code = %d, error = %q", code, e.Error)
+	}
+}
+
+// TestPprofGating: profiling endpoints exist only when opted in.
+func TestPprofGating(t *testing.T) {
+	_, ts := newTestServer(t) // EnablePprof off
+	resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without opt-in: status = %d", resp.StatusCode)
+	}
+
+	dir := t.TempDir()
+	srv, err := New(Config{
+		PerflogRoot: dir + "/perflogs",
+		InstallTree: dir + "/install",
+		EnablePprof: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts2.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	resp, err = http.Get(ts2.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof with opt-in: status = %d", resp.StatusCode)
+	}
+	// The API routes still work through the pprof-wrapping mux.
+	if code := getJSON(t, ts2.URL+"/healthz", nil); code != http.StatusOK {
+		t.Errorf("healthz through pprof mux: status = %d", code)
 	}
 }

@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// ContextHandler wraps another slog.Handler and enriches every record
+// logged with a context carrying a span: the record gains the current
+// span's name, the trace id, and the *root* span's attributes (run id,
+// benchmark, system — whatever the pipeline stamped on the trace). One
+// shared handler therefore makes every log line across the pipeline
+// self-identifying without threading loggers through APIs.
+type ContextHandler struct {
+	inner slog.Handler
+}
+
+// NewHandler wraps inner with span-context enrichment.
+func NewHandler(inner slog.Handler) *ContextHandler {
+	return &ContextHandler{inner: inner}
+}
+
+// Enabled implements slog.Handler.
+func (h *ContextHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+// Handle implements slog.Handler.
+func (h *ContextHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if s := FromContext(ctx); s != nil {
+		rec = rec.Clone()
+		if id := s.TraceID(); id != "" {
+			rec.AddAttrs(slog.String("trace", id))
+		}
+		rec.AddAttrs(slog.String("span", s.Name()))
+		root := s.Root()
+		root.mu.Lock()
+		attrs := append([]Attr(nil), root.attrs...)
+		root.mu.Unlock()
+		for _, a := range attrs {
+			rec.AddAttrs(slog.String(a.Key, a.Value))
+		}
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+// WithAttrs implements slog.Handler.
+func (h *ContextHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &ContextHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+// WithGroup implements slog.Handler.
+func (h *ContextHandler) WithGroup(name string) slog.Handler {
+	return &ContextHandler{inner: h.inner.WithGroup(name)}
+}
+
+// NewLogger builds the framework's structured logger: text or JSON
+// records on w at the given level, enriched with span context.
+func NewLogger(w io.Writer, level slog.Level, json bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var inner slog.Handler
+	if json {
+		inner = slog.NewJSONHandler(w, opts)
+	} else {
+		inner = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(NewHandler(inner))
+}

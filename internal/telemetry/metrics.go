@@ -1,0 +1,343 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// The metrics half of the package: a small, dependency-free registry of
+// counters, gauges, and fixed-bucket histograms, rendered in Prometheus
+// text exposition format (version 0.0.4). Metric values use atomics on
+// the hot path — Inc/Add/Observe never take the registry lock — while
+// series creation and rendering serialise on per-family mutexes.
+
+// DefBuckets are the default histogram buckets for durations in seconds,
+// spanning sub-millisecond harness stages to minute-scale queue waits.
+var DefBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60,
+}
+
+// atomicFloat is a float64 updated with CAS on its bit pattern.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Set(v float64)  { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) Value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomicFloat }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds v (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	c.v.Add(v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v.Value() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v atomicFloat }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v.Set(v) }
+
+// Add adds v (may be negative).
+func (g *Gauge) Add(v float64) { g.v.Add(v) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.Value() }
+
+// Histogram counts observations into fixed upper-bound buckets.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Uint64
+	sum    atomicFloat
+	count  atomic.Uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one metric name: its metadata plus every labelled series.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu     sync.Mutex
+	series map[string]any // joined label values -> *Counter/*Gauge/*Histogram
+	keys   []string       // insertion-ordered series keys
+}
+
+const labelSep = "\x1f"
+
+func (f *family) get(labelValues []string, make func() any) any {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: metric %s expects %d label values, got %d",
+			f.name, len(f.labels), len(labelValues)))
+	}
+	key := strings.Join(labelValues, labelSep)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.series[key]; ok {
+		return m
+	}
+	m := make()
+	f.series[key] = m
+	f.keys = append(f.keys, key)
+	return m
+}
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values, creating it on
+// first use. Call with no arguments for an unlabelled counter.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return v.f.get(labelValues, func() any { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.f.get(labelValues, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// HistogramVec is a histogram family partitioned by label values.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return v.f.get(labelValues, func() any {
+		h := &Histogram{bounds: v.f.buckets}
+		h.counts = make([]atomic.Uint64, len(h.bounds))
+		return h
+	}).(*Histogram)
+}
+
+// Registry holds metric families and renders them as Prometheus text.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// DefaultRegistry is the process-wide registry: instrumented packages
+// (core, buildsys, perfstore, service) register their families here at
+// init, so any binary importing them exposes the full set.
+var DefaultRegistry = NewRegistry()
+
+func (r *Registry) family(name, help string, kind metricKind, buckets []float64, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %s re-registered as %s (was %s)", name, kind, f.kind))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, labels: labels, buckets: buckets, series: map[string]any{}}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers (or returns the existing) counter family.
+func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, kindCounter, nil, labels)}
+}
+
+// Gauge registers (or returns the existing) gauge family.
+func (r *Registry) Gauge(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.family(name, help, kindGauge, nil, labels)}
+}
+
+// Histogram registers (or returns the existing) histogram family with
+// the given upper bucket bounds (DefBuckets when nil).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	return &HistogramVec{f: r.family(name, help, kindHistogram, bounds, labels)}
+}
+
+// WritePrometheus renders every family in text exposition format,
+// families sorted by name, series in creation order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+	var sb strings.Builder
+	for _, f := range fams {
+		f.render(&sb)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Render returns the registry's Prometheus text exposition.
+func (r *Registry) Render() string {
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	return sb.String()
+}
+
+func (f *family) render(sb *strings.Builder) {
+	f.mu.Lock()
+	keys := append([]string(nil), f.keys...)
+	series := make([]any, len(keys))
+	for i, k := range keys {
+		series[i] = f.series[k]
+	}
+	f.mu.Unlock()
+
+	if f.help != "" {
+		fmt.Fprintf(sb, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(sb, "# TYPE %s %s\n", f.name, f.kind)
+	for i, key := range keys {
+		values := strings.Split(key, labelSep)
+		if key == "" {
+			values = nil
+		}
+		switch m := series[i].(type) {
+		case *Counter:
+			fmt.Fprintf(sb, "%s%s %s\n", f.name, labelString(f.labels, values, "", ""), formatValue(m.Value()))
+		case *Gauge:
+			fmt.Fprintf(sb, "%s%s %s\n", f.name, labelString(f.labels, values, "", ""), formatValue(m.Value()))
+		case *Histogram:
+			var cum uint64
+			for bi, bound := range m.bounds {
+				cum += m.counts[bi].Load()
+				fmt.Fprintf(sb, "%s_bucket%s %d\n", f.name,
+					labelString(f.labels, values, "le", formatValue(bound)), cum)
+			}
+			fmt.Fprintf(sb, "%s_bucket%s %d\n", f.name,
+				labelString(f.labels, values, "le", "+Inf"), m.Count())
+			fmt.Fprintf(sb, "%s_sum%s %s\n", f.name, labelString(f.labels, values, "", ""), formatValue(m.Sum()))
+			fmt.Fprintf(sb, "%s_count%s %d\n", f.name, labelString(f.labels, values, "", ""), m.Count())
+		}
+	}
+}
+
+// labelString renders {k="v",...}, optionally appending one extra pair
+// (the histogram "le" bound). Empty label sets render as "".
+func labelString(names, values []string, extraK, extraV string) string {
+	if len(names) == 0 && extraK == "" {
+		return ""
+	}
+	var parts []string
+	for i, n := range names {
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		parts = append(parts, n+`="`+escapeLabel(v)+`"`)
+	}
+	if extraK != "" {
+		parts = append(parts, extraK+`="`+escapeLabel(extraV)+`"`)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+func formatValue(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

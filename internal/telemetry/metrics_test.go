@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs.", "state").With("done")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-5) // ignored: counters are monotonic
+	if c.Value() != 3.5 {
+		t.Errorf("counter = %g, want 3.5", c.Value())
+	}
+	g := r.Gauge("queue_depth", "Depth.").With()
+	g.Set(10)
+	g.Dec()
+	g.Add(-2)
+	if g.Value() != 7 {
+		t.Errorf("gauge = %g, want 7", g.Value())
+	}
+	// Re-registration returns the same series.
+	if r.Counter("jobs_total", "Jobs.", "state").With("done") != c {
+		t.Error("re-registered counter is a different instance")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 1, 10}).With()
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-56.05) > 1e-9 {
+		t.Errorf("sum = %g, want 56.05", h.Sum())
+	}
+	text := r.Render()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_count 5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// parsePrometheus is a minimal exposition-format checker: every
+// non-comment line must be `name{labels} value` or `name value` with a
+// parseable float/int value, and every sample's family must have a
+// preceding # TYPE line.
+func parsePrometheus(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	typed := map[string]string{}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("blank line in exposition output")
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			typed[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		idx := strings.LastIndex(line, " ")
+		if idx < 0 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		key, valText := line[:idx], line[idx+1:]
+		val, err := strconv.ParseFloat(valText, 64)
+		if err != nil && valText != "+Inf" {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		name := key
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("unterminated label set: %q", line)
+			}
+			name = name[:i]
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if _, ok := typed[name]; !ok {
+			if _, ok := typed[base]; !ok {
+				t.Fatalf("sample %q has no preceding # TYPE", line)
+			}
+		}
+		samples[key] = val
+	}
+	return samples
+}
+
+func TestExpositionFormatParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("http_requests_total", "Requests.", "route", "code").With("/v1/runs", "202").Add(3)
+	r.Gauge("in_flight", "In flight.").With().Set(2)
+	r.Histogram("stage_seconds", "Stages.", nil, "stage").With("build").Observe(0.003)
+	r.Counter("odd_labels_total", "Escaping.", "v").With(`a"b\c` + "\nd").Inc()
+
+	samples := parsePrometheus(t, r.Render())
+	if samples[`http_requests_total{route="/v1/runs",code="202"}`] != 3 {
+		t.Errorf("labelled counter sample missing: %v", samples)
+	}
+	if samples[`in_flight`] != 2 {
+		t.Errorf("gauge sample missing: %v", samples)
+	}
+	if samples[`stage_seconds_count{stage="build"}`] != 1 {
+		t.Errorf("histogram count missing: %v", samples)
+	}
+	if samples[`stage_seconds_bucket{stage="build",le="+Inf"}`] != 1 {
+		t.Errorf("+Inf bucket missing: %v", samples)
+	}
+	if samples[`odd_labels_total{v="a\"b\\c\nd"}`] != 1 {
+		t.Errorf("escaped label sample missing: %v", samples)
+	}
+}
+
+func TestEmptyFamilyRendersTypeOnly(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("runner_stage_seconds", "Stage durations.", nil, "stage")
+	text := r.Render()
+	if !strings.Contains(text, "# TYPE runner_stage_seconds histogram") {
+		t.Errorf("empty family lost its TYPE line:\n%s", text)
+	}
+	if strings.Contains(text, "runner_stage_seconds_bucket") {
+		t.Errorf("empty family rendered samples:\n%s", text)
+	}
+}
+
+// TestConcurrentMetricUpdates exercises counters and histograms from
+// many goroutines; run under -race.
+func TestConcurrentMetricUpdates(t *testing.T) {
+	r := NewRegistry()
+	cv := r.Counter("ops_total", "Ops.", "kind")
+	hv := r.Histogram("op_seconds", "Op latency.", nil, "kind")
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			kind := []string{"read", "write"}[w%2]
+			for i := 0; i < perWorker; i++ {
+				cv.With(kind).Inc()
+				hv.With(kind).Observe(float64(i) / perWorker)
+				if i%100 == 0 {
+					r.Render() // concurrent scrapes
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := cv.With("read").Value() + cv.With("write").Value()
+	if total != workers*perWorker {
+		t.Errorf("counter total = %g, want %d", total, workers*perWorker)
+	}
+	if n := hv.With("read").Count() + hv.With("write").Count(); n != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", n, workers*perWorker)
+	}
+}

@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeNesting(t *testing.T) {
+	tr := NewTracer(4)
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := Start(ctx, "run", String("benchmark", "hpgmg-fv"), String("system", "archer2"))
+	cctx, build := Start(ctx, "build")
+	_, node := Start(cctx, "build:gcc")
+	node.SetAttr("state", "cached")
+	node.End(nil)
+	build.End(nil)
+	_, exec := Start(ctx, "execute")
+	exec.End(fmt.Errorf("boom"))
+	root.End(nil)
+
+	if tr.Len() != 1 {
+		t.Fatalf("tracer holds %d traces, want 1", tr.Len())
+	}
+	trace := tr.Traces()[0]
+	if trace.ID == "" {
+		t.Error("trace has no auto-assigned id")
+	}
+	v := trace.Root.View()
+	if v.Name != "run" || v.Attrs["benchmark"] != "hpgmg-fv" {
+		t.Errorf("root view = %+v", v)
+	}
+	if len(v.Children) != 2 {
+		t.Fatalf("root has %d children, want 2", len(v.Children))
+	}
+	if v.Children[0].Name != "build" || len(v.Children[0].Children) != 1 {
+		t.Errorf("build subtree = %+v", v.Children[0])
+	}
+	if v.Children[0].Children[0].Attrs["state"] != "cached" {
+		t.Errorf("node attrs = %v", v.Children[0].Children[0].Attrs)
+	}
+	if v.Children[1].Error != "boom" {
+		t.Errorf("execute error = %q, want boom", v.Children[1].Error)
+	}
+	tree := RenderTree(v)
+	for _, want := range []string{"run (", "├─ build", "│  └─ build:gcc", "state=cached", "└─ execute", "error=boom"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("tree missing %q:\n%s", want, tree)
+		}
+	}
+}
+
+func TestTracerRingEvictsOldest(t *testing.T) {
+	tr := NewTracer(2)
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 3; i++ {
+		c, s := Start(WithTraceID(ctx, fmt.Sprintf("t-%d", i)), "run")
+		_ = c
+		s.End(nil)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d, want 2 (ring cap)", tr.Len())
+	}
+	if _, ok := tr.Get("t-0"); ok {
+		t.Error("oldest trace t-0 should have been evicted")
+	}
+	if _, ok := tr.Get("t-2"); !ok {
+		t.Error("newest trace t-2 missing")
+	}
+}
+
+func TestWithTraceIDPinsID(t *testing.T) {
+	tr := NewTracer(4)
+	ctx := WithTraceID(WithTracer(context.Background(), tr), "run-000042")
+	_, s := Start(ctx, "run")
+	if got := s.TraceID(); got != "run-000042" {
+		t.Errorf("TraceID = %q before End", got)
+	}
+	s.End(nil)
+	if _, ok := tr.Get("run-000042"); !ok {
+		t.Error("trace not retrievable by pinned id")
+	}
+}
+
+func TestSpanEndIdempotentAndNilSafe(t *testing.T) {
+	_, s := Start(context.Background(), "x")
+	s.End(nil)
+	d := s.Duration()
+	time.Sleep(5 * time.Millisecond)
+	s.End(fmt.Errorf("late"))
+	if s.Duration() != d {
+		t.Error("second End changed the duration")
+	}
+	if s.View().Error != "" {
+		t.Error("second End recorded an error")
+	}
+	var nilSpan *Span
+	nilSpan.End(nil)
+	nilSpan.SetAttr("k", "v")
+	if nilSpan.Duration() != 0 || nilSpan.Name() != "" || nilSpan.TraceID() != "" {
+		t.Error("nil span accessors not zero-valued")
+	}
+}
+
+// TestConcurrentChildSpans mirrors buildsys attaching DAG-node spans
+// from worker goroutines; run under -race.
+func TestConcurrentChildSpans(t *testing.T) {
+	tr := NewTracer(4)
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := Start(ctx, "build")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, s := Start(ctx, fmt.Sprintf("node-%d", i))
+			s.SetAttr("i", fmt.Sprint(i))
+			s.End(nil)
+		}(i)
+	}
+	wg.Wait()
+	root.End(nil)
+	if got := len(root.View().Children); got != 16 {
+		t.Errorf("children = %d, want 16", got)
+	}
+}
+
+func TestContextHandlerStampsSpanContext(t *testing.T) {
+	var buf bytes.Buffer
+	logger := NewLogger(&buf, slog.LevelDebug, false)
+	ctx := WithTracer(context.Background(), NewTracer(2))
+	ctx = WithTraceID(ctx, "run-000007")
+	ctx, root := Start(ctx, "run", String("run_id", "run-000007"), String("benchmark", "hpgmg-fv"), String("system", "archer2"))
+	cctx, _ := Start(ctx, "build")
+	logger.InfoContext(cctx, "installing")
+	root.End(nil)
+
+	line := buf.String()
+	for _, want := range []string{"trace=run-000007", "span=build", "run_id=run-000007", "benchmark=hpgmg-fv", "system=archer2"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("log line missing %q: %s", want, line)
+		}
+	}
+	buf.Reset()
+	logger.Info("no context")
+	if strings.Contains(buf.String(), "span=") {
+		t.Errorf("context-free line gained span attrs: %s", buf.String())
+	}
+}

@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -131,9 +132,15 @@ func cmdRun(args []string, scriptOnly bool) error {
 		tracer = telemetry.NewTracer(len(targets))
 		ctx = telemetry.WithTracer(ctx, tracer)
 	}
-	for i, target := range targets {
+	// RunMany semantics: a failing target does not abort the survey — the
+	// remaining systems still run and report, and the per-target errors
+	// are joined into one non-nil error so the process exits non-zero.
+	var errs []error
+	printed := 0
+	for _, target := range targets {
+		target = strings.TrimSpace(target)
 		report, err := runner.RunContext(ctx, b, core.Options{
-			System:       strings.TrimSpace(target),
+			System:       target,
 			Spec:         specOverride,
 			NumTasks:     *numTasks,
 			TasksPerNode: *tasksPerNode,
@@ -141,15 +148,17 @@ func cmdRun(args []string, scriptOnly bool) error {
 			Account:      *account,
 		})
 		if err != nil {
-			return err
+			errs = append(errs, fmt.Errorf("%s on %s: %w", b.Name(), target, err))
+			continue
 		}
 		if scriptOnly {
 			fmt.Print(report.JobScript)
 			return nil
 		}
-		if i > 0 {
+		if printed > 0 {
 			fmt.Println()
 		}
+		printed++
 		fmt.Printf("benchmark: %s\nsystem:    %s:%s\nspec:      %s\n",
 			report.Benchmark, report.System, report.Partition, report.Spec.RootString())
 		if *trace {
@@ -169,14 +178,15 @@ func cmdRun(args []string, scriptOnly bool) error {
 		fmt.Printf("job:       #%d %s (%.3fs queued, %.3fs run)\n",
 			report.Job.ID, report.Job.State, report.Job.QueueWait(), report.Job.Runtime())
 		if !report.Pass() {
-			return fmt.Errorf("run failed on %s: %s", report.System, report.Entry.Extra["error"])
+			errs = append(errs, fmt.Errorf("run failed on %s: %s", report.System, report.Entry.Extra["error"]))
+			continue
 		}
 		fmt.Print("figures of merit:\n" + indent(fom.Table(report.FOMs)))
 	}
 	if !scriptOnly {
 		fmt.Printf("perflog:   %s\n", *perflogRoot)
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 func indent(s string) string {

@@ -152,3 +152,25 @@ func TestSurveyCommand(t *testing.T) {
 		}
 	}
 }
+
+func TestRunCommandPartialFailureExitsNonZero(t *testing.T) {
+	// A sweep with one bad target must still run (and log) the good
+	// targets, but surface a joined error so the process exits non-zero.
+	dir := t.TempDir()
+	out, err := capture(t, func() error {
+		return run([]string{"run", "-b", "hpgmg-fv", "--system", "archer2,no-such-system",
+			"--perflog", filepath.Join(dir, "logs"), "--tree", filepath.Join(dir, "tree")})
+	})
+	if err == nil {
+		t.Fatal("sweep with an unknown system reported success")
+	}
+	if !strings.Contains(err.Error(), "no-such-system") {
+		t.Errorf("error does not name the failing target: %v", err)
+	}
+	if !strings.Contains(out, "archer2") || !strings.Contains(out, "figures of merit") {
+		t.Errorf("good target's results missing from output:\n%s", out)
+	}
+	if _, statErr := os.Stat(filepath.Join(dir, "logs", "archer2", "hpgmg-fv.log")); statErr != nil {
+		t.Errorf("good target's perflog missing: %v", statErr)
+	}
+}

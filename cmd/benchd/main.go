@@ -29,6 +29,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
+	"repro/internal/retry"
 	"repro/internal/service"
 	"repro/internal/telemetry"
 )
@@ -53,8 +55,33 @@ func run(args []string) error {
 	enablePprof := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	logJSON := fs.Bool("log-json", false, "emit logs as JSON instead of text")
 	verbose := fs.Bool("v", false, "debug-level logging")
+	stageTimeout := fs.Duration("stage-timeout", 0, "per-stage pipeline budget for executed runs (0 = no limit)")
+	retries := fs.Int("retries", 0, "max attempts per pipeline stage on transient failures (0 = default policy)")
+	faults := fs.String("faults", "", "fault-injection schedule, e.g. 'scheduler.submit:error:rate=0.1' (testing)")
+	faultSeed := fs.Int64("fault-seed", 1, "PRNG seed for --faults decisions")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Fault injection arms from the environment first (BENCH_FAULTS /
+	// BENCH_FAULT_SEED), then --faults overrides.
+	if err := faultinject.LoadEnv(os.LookupEnv); err != nil {
+		return err
+	}
+	if *faults != "" {
+		rules, err := faultinject.ParseSchedule(*faults)
+		if err != nil {
+			return err
+		}
+		if err := faultinject.Load(*faultSeed, rules); err != nil {
+			return err
+		}
+	}
+	var policy *retry.Policy
+	if *retries > 0 {
+		p := retry.Default()
+		p.MaxAttempts = *retries
+		policy = &p
 	}
 
 	level := slog.LevelInfo
@@ -63,6 +90,9 @@ func run(args []string) error {
 	}
 	logger := telemetry.NewLogger(os.Stderr, level, *logJSON)
 	slog.SetDefault(logger)
+	if faultinject.Armed() {
+		logger.Warn("fault injection armed", "points", faultinject.Default.Points(), "seed", *faultSeed)
+	}
 
 	srv, err := service.New(service.Config{
 		PerflogRoot:    *perflogRoot,
@@ -73,6 +103,8 @@ func run(args []string) error {
 		TraceBuffer:    *traceBuf,
 		EnablePprof:    *enablePprof,
 		Logger:         logger,
+		Retry:          policy,
+		StageTimeout:   *stageTimeout,
 	})
 	if err != nil {
 		return err

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -191,4 +192,51 @@ func TestRegressWindowFlagBoundsBaseline(t *testing.T) {
 	if err != nil {
 		t.Errorf("window-3 baseline should be stable: %v\n%s", err, out)
 	}
+}
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// checkGolden compares output against a committed golden file; -update
+// regenerates them.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with go test -run Golden -update ./cmd/perfplot): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("%s drifted from golden:\n--- want ---\n%s--- got ---\n%s", name, want, got)
+	}
+}
+
+func TestTableGolden(t *testing.T) {
+	// The seeded tree is fully deterministic (fixed timestamps, lexical
+	// walk order), so the rendered table is byte-stable.
+	root := seedPerflogs(t)
+	out, err := capture(t, func() error { return run([]string{"table", "--perflog", root}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table.golden", out)
+}
+
+func TestRegressGolden(t *testing.T) {
+	root := seedPerflogs(t)
+	out, err := capture(t, func() error {
+		return run([]string{"regress", "--perflog", root, "--fom", "l0", "--group", "system"})
+	})
+	if err == nil {
+		t.Error("seeded regression not flagged")
+	}
+	checkGolden(t, "regress.golden", out)
 }

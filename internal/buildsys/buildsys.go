@@ -32,7 +32,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/repo"
+	"repro/internal/retry"
 	"repro/internal/spec"
 	"repro/internal/telemetry"
 )
@@ -137,6 +139,12 @@ type Builder struct {
 	// Workers bounds the goroutine pool building independent DAG nodes
 	// concurrently (defaults to min(NumCPU, 8)).
 	Workers int
+	// Retry is applied per DAG node to transient install failures (a
+	// flaky fetch, a filesystem hiccup). Failed attempts never reach the
+	// install tree — prefixes materialise atomically only on success —
+	// so retrying cannot poison the DAG-hash cache. The zero policy
+	// means a single attempt.
+	Retry retry.Policy
 }
 
 // NewBuilder returns a Builder over the given install tree and recipe
@@ -259,8 +267,8 @@ func (b *Builder) InstallContext(ctx context.Context, root *spec.Spec) ([]*Recor
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				_, span := telemetry.Start(ctx, "build:"+s.Name)
-				recs[i], errs[i] = b.installNode(s, s == root)
+				sctx, span := telemetry.Start(ctx, "build:"+s.Name)
+				recs[i], errs[i] = b.installNodeRetrying(sctx, s, s == root)
 				if rec := recs[i]; rec != nil {
 					span.SetAttr("state", rec.State())
 					span.SetAttr("hash", rec.Hash)
@@ -292,8 +300,35 @@ func (b *Builder) InstallContext(ctx context.Context, root *spec.Spec) ([]*Recor
 	return out, nil
 }
 
-// installNode installs one DAG node, consulting the cache first.
-func (b *Builder) installNode(s *spec.Spec, isRoot bool) (*Record, error) {
+// installNodeRetrying wraps installNode in the builder's retry policy:
+// transient failures (including injected ones) are retried with
+// backoff, each retry visible as a child span tagged with its attempt
+// number.
+func (b *Builder) installNodeRetrying(ctx context.Context, s *spec.Spec, isRoot bool) (*Record, error) {
+	var rec *Record
+	err := b.Retry.Do(ctx, "buildsys.install", func(actx context.Context, attempt int) error {
+		if attempt > 1 {
+			var span *telemetry.Span
+			actx, span = telemetry.Start(actx, "build:"+s.Name+".retry", telemetry.Int("attempt", attempt))
+			defer func() { span.End(nil) }()
+		}
+		var err error
+		rec, err = b.installNode(actx, s, isRoot)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// installNode installs one DAG node, consulting the cache first. The
+// "buildsys.install" injection point models a build that fails for
+// reasons unrelated to the spec (network fetch, disk, OOM).
+func (b *Builder) installNode(ctx context.Context, s *spec.Spec, isRoot bool) (*Record, error) {
+	if err := faultinject.FireContext(ctx, "buildsys.install"); err != nil {
+		return nil, fmt.Errorf("buildsys: install %s: %w", s.Name, err)
+	}
 	if s.External {
 		// System-provided installation: nothing to build (the paper's
 		// packages.yaml externals). Its path is its prefix.

@@ -6,10 +6,13 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/concretize"
 	"repro/internal/env"
+	"repro/internal/faultinject"
 	"repro/internal/repo"
+	"repro/internal/retry"
 	"repro/internal/spec"
 )
 
@@ -341,5 +344,79 @@ func TestSummaryAndState(t *testing.T) {
 		if r.State() != want {
 			t.Errorf("State() = %q, want %q", r.State(), want)
 		}
+	}
+}
+
+func TestInstallRetriesTransientFault(t *testing.T) {
+	// One injected transient failure on the install point: the retry
+	// policy absorbs it and the install completes as if nothing happened.
+	rules, err := faultinject.ParseSchedule("buildsys.install:error:times=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.Load(1, rules); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faultinject.Reset)
+
+	tree := t.TempDir()
+	b := NewBuilder(tree, repo.Builtin())
+	b.Retry = retry.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}
+	records, err := b.Install(concretized(t, "archer2", "babelstream model=omp"))
+	if err != nil {
+		t.Fatalf("install with one transient fault: %v", err)
+	}
+	for _, r := range records {
+		if r.External {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(r.Prefix, ManifestName)); err != nil {
+			t.Errorf("%s: retried install left no manifest: %v", r.SpecText, err)
+		}
+	}
+}
+
+func TestPermanentFaultDoesNotPoisonCache(t *testing.T) {
+	// A permanent install failure must surface as a typed fault without
+	// retries, and — because prefixes materialise atomically — must leave
+	// nothing behind that a later install could mistake for a cache hit.
+	rules, err := faultinject.ParseSchedule("buildsys.install:error:times=1:permanent=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.Load(1, rules); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faultinject.Reset)
+
+	tree := t.TempDir()
+	b := NewBuilder(tree, repo.Builtin())
+	b.Retry = retry.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}
+	s := concretized(t, "archer2", "babelstream model=omp")
+	if _, err := b.Install(s); err == nil {
+		t.Fatal("install with permanent fault succeeded")
+	} else if !faultinject.Is(err) {
+		t.Fatalf("error not a typed fault: %v", err)
+	}
+
+	faultinject.Reset()
+	records, err := b.Install(s)
+	if err != nil {
+		t.Fatalf("reinstall after fault: %v", err)
+	}
+	// Whatever claims to be cached must actually be installed: a cached
+	// record with no manifest would mean the failed attempt poisoned the
+	// DAG-hash cache.
+	for _, r := range records {
+		if r.External {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(r.Prefix, ManifestName)); err != nil {
+			t.Errorf("%s (%s): no manifest on disk: %v", r.SpecText, r.State(), err)
+		}
+	}
+	root := records[len(records)-1]
+	if _, err := os.Stat(filepath.Join(root.Prefix, ManifestName)); err != nil {
+		t.Errorf("root missing after recovery install: %v", err)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/perflog"
 	"repro/internal/platform"
 	"repro/internal/repo"
+	"repro/internal/retry"
 	"repro/internal/scheduler"
 	"repro/internal/spec"
 )
@@ -117,6 +118,19 @@ type Runner struct {
 	// Backfill enables EASY backfilling on the simulated batch
 	// schedulers (no effect on the local scheduler).
 	Backfill bool
+	// Retry is applied to each pipeline stage: transient failures (a
+	// scheduler rejecting a submit, a flaky build step) are re-attempted
+	// with backoff before the run is declared failed. The zero policy
+	// runs every stage exactly once. The append stage is never retried —
+	// its bytes may already be durable when the error surfaces, and a
+	// duplicated perflog line is worse than a surfaced error.
+	Retry retry.Policy
+	// StageTimeout bounds each stage attempt. Enforcement is
+	// cooperative: the attempt's context expires and context-aware work
+	// (builds, injected delays) returns early; the timeout is classified
+	// transient so the retry policy gets a fresh attempt. Zero disables
+	// the limit.
+	StageTimeout time.Duration
 	// Now supplies timestamps (defaults to time.Now; fixed in tests).
 	Now func() time.Time
 }
@@ -131,6 +145,7 @@ func New(installTree, perflogRoot string) *Runner {
 		InstallTree:     installTree,
 		PerflogRoot:     perflogRoot,
 		RebuildEveryRun: true,
+		Retry:           retry.Default(),
 		Now:             time.Now,
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/perflog"
 	"repro/internal/platform"
+	"repro/internal/retry"
 	"repro/internal/scheduler"
 	"repro/internal/spec"
 	"repro/internal/telemetry"
@@ -74,11 +75,43 @@ func (r *Runner) RunContext(ctx context.Context, b Benchmark, opts Options) (rep
 		}
 		root.End(err)
 	}()
-	// stage wraps one pipeline stage in a child span and records its
-	// wall-clock duration under the given name.
-	stage := func(name string, f func(context.Context) error) error {
+	// stage wraps one pipeline stage in a child span, applies the
+	// runner's retry policy and per-attempt timeout, and records the
+	// stage's total wall-clock duration (all attempts) under the given
+	// name. Attempt 1 runs directly under the stage span so traces of
+	// clean runs are unchanged; each retry gets a child span tagged with
+	// its attempt number. canRetry=false pins the stage to one attempt
+	// regardless of policy — used for append, which is not idempotent.
+	stage := func(name string, canRetry bool, f func(context.Context) error) error {
 		sctx, span := telemetry.Start(ctx, name)
-		serr := f(sctx)
+		policy := r.Retry
+		if !canRetry {
+			policy = retry.Policy{}
+		}
+		serr := policy.Do(sctx, "runner."+name, func(actx context.Context, attempt int) error {
+			var aspan *telemetry.Span
+			if attempt > 1 {
+				actx, aspan = telemetry.Start(actx, name+".retry",
+					telemetry.Int("attempt", attempt))
+			}
+			if r.StageTimeout > 0 {
+				var cancel context.CancelFunc
+				actx, cancel = context.WithTimeout(actx, r.StageTimeout)
+				defer cancel()
+			}
+			aerr := f(actx)
+			// A deadline we imposed (not one inherited from the caller)
+			// is a transient condition: the next attempt gets a fresh
+			// budget.
+			if aerr != nil && errors.Is(aerr, context.DeadlineExceeded) && sctx.Err() == nil {
+				aerr = retry.Mark(fmt.Errorf("core: stage %s timed out after %s: %w",
+					name, r.StageTimeout, aerr))
+			}
+			if aspan != nil {
+				aspan.End(aerr)
+			}
+			return aerr
+		})
 		span.End(serr)
 		d := span.Duration().Seconds()
 		stageSeconds[name] = d
@@ -89,7 +122,7 @@ func (r *Runner) RunContext(ctx context.Context, b Benchmark, opts Options) (rep
 	// 1. Resolve the platform.
 	var sys *platform.System
 	var part *platform.Partition
-	if err := stage("resolve", func(context.Context) error {
+	if err := stage("resolve", true, func(context.Context) error {
 		var rerr error
 		sys, part, rerr = r.Estate.Resolve(opts.System)
 		return rerr
@@ -108,7 +141,7 @@ func (r *Runner) RunContext(ctx context.Context, b Benchmark, opts Options) (rep
 	}
 	cfg := r.Envs.ForSystem(sys.Name)
 	var conc *concretize.Result
-	if err := stage("concretize", func(context.Context) error {
+	if err := stage("concretize", true, func(context.Context) error {
 		abstract, perr := spec.Parse(specText)
 		if perr != nil {
 			return perr
@@ -125,10 +158,14 @@ func (r *Runner) RunContext(ctx context.Context, b Benchmark, opts Options) (rep
 	// 3. Build (Principles 2-3). The builder returns one provenance
 	// record per DAG node, root last; the root's prefix holds the
 	// binary the job launches.
+	// Retries happen per DAG node inside the builder (where a failed
+	// attempt cannot poison the cache), not at stage level where they
+	// would multiply with the node-level policy.
 	var records []*buildsys.Record
-	if err := stage("build", func(sctx context.Context) error {
+	if err := stage("build", false, func(sctx context.Context) error {
 		builder := buildsys.NewBuilder(r.InstallTree, r.Repo)
 		builder.RebuildEveryRun = r.RebuildEveryRun
+		builder.Retry = r.Retry
 		var berr error
 		records, berr = builder.InstallContext(sctx, conc.Spec)
 		return berr
@@ -190,7 +227,7 @@ func (r *Runner) RunContext(ctx context.Context, b Benchmark, opts Options) (rep
 	// scheduler's own job accounting (real seconds on the local
 	// scheduler, simulated seconds on the batch simulators).
 	var info *scheduler.Info
-	if err := stage("schedule", func(sctx context.Context) error {
+	if err := stage("schedule", true, func(sctx context.Context) error {
 		sched, serr := r.schedulerFor(sys, part, b, conc.Spec, layout)
 		if serr != nil {
 			return serr
@@ -254,7 +291,7 @@ func (r *Runner) RunContext(ctx context.Context, b Benchmark, opts Options) (rep
 		},
 	}
 	report.Entry = entry
-	if err := stage("extract", func(context.Context) error {
+	if err := stage("extract", true, func(context.Context) error {
 		if info.State != scheduler.Completed {
 			entry.Extra["error"] = fmt.Sprintf("job state %s: %s", info.State, info.Stderr)
 			return nil
@@ -284,7 +321,7 @@ func (r *Runner) RunContext(ctx context.Context, b Benchmark, opts Options) (rep
 	}
 
 	if r.PerflogRoot != "" {
-		if err := stage("append", func(context.Context) error {
+		if err := stage("append", false, func(context.Context) error {
 			return perflog.Append(r.PerflogRoot, sys.Name, b.Name(), entry)
 		}); err != nil {
 			return report, err
@@ -346,12 +383,18 @@ func (r *Runner) schedulerFor(sys *platform.System, part *platform.Partition, b 
 // successful targets, in target order; callers that need all targets to
 // succeed must check the returned error, not the report count alone.
 func (r *Runner) RunMany(b Benchmark, targets []string, base Options) ([]*Report, error) {
+	return r.RunManyContext(context.Background(), b, targets, base)
+}
+
+// RunManyContext is RunMany under a caller-supplied context (tracer,
+// cancellation).
+func (r *Runner) RunManyContext(ctx context.Context, b Benchmark, targets []string, base Options) ([]*Report, error) {
 	var out []*Report
 	var errs []error
 	for _, target := range targets {
 		opts := base
 		opts.System = target
-		rep, err := r.Run(b, opts)
+		rep, err := r.RunContext(ctx, b, opts)
 		if err != nil {
 			name := "benchmark"
 			if b != nil {

@@ -11,9 +11,11 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/fom"
 	"repro/internal/launcher"
 	"repro/internal/perflog"
+	"repro/internal/retry"
 	"repro/internal/telemetry"
 )
 
@@ -439,5 +441,85 @@ func TestRunManyCollectsPerTargetErrors(t *testing.T) {
 		if _, serr := perflog.Read(filepath.Join(r.PerflogRoot, sys, "echo.log")); serr != nil {
 			t.Errorf("perflog for %s: %v", sys, serr)
 		}
+	}
+}
+
+// loadFaults arms the default fault registry for one test.
+func loadFaults(t *testing.T, seed int64, schedule string) {
+	t.Helper()
+	rules, err := faultinject.ParseSchedule(schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.Load(seed, rules); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faultinject.Reset)
+}
+
+func fastRetry() retry.Policy {
+	return retry.Policy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}
+}
+
+func TestScheduleStageRetriesTransientSubmitFault(t *testing.T) {
+	// Two injected submit rejections: the stage retry policy absorbs
+	// both, the run passes, and the retries are visible in /metrics.
+	loadFaults(t, 1, "scheduler.submit:error:times=2")
+	r := testRunner(t)
+	r.Retry = fastRetry()
+	before, _ := telemetry.DefaultRegistry.Value("retry_retries_total", "runner.schedule")
+	rep, err := r.Run(&echoBenchmark{name: "echo"}, Options{System: "archer2"})
+	if err != nil {
+		t.Fatalf("run with transient submit faults: %v", err)
+	}
+	if !rep.Pass() {
+		t.Error("run did not pass after retries")
+	}
+	after, _ := telemetry.DefaultRegistry.Value("retry_retries_total", "runner.schedule")
+	if after-before < 2 {
+		t.Errorf("retry_retries_total{runner.schedule} grew by %v, want >= 2", after-before)
+	}
+}
+
+func TestRetryExhaustionSurfacesTypedFault(t *testing.T) {
+	// Every submit rejected: retries exhaust and the typed fault
+	// surfaces through the exhaustion wrapper.
+	loadFaults(t, 1, "scheduler.submit:error")
+	r := testRunner(t)
+	r.Retry = fastRetry()
+	before, _ := telemetry.DefaultRegistry.Value("retry_exhausted_total", "runner.schedule")
+	_, err := r.Run(&echoBenchmark{name: "echo"}, Options{System: "archer2"})
+	if err == nil {
+		t.Fatal("run succeeded with every submit rejected")
+	}
+	if !faultinject.Is(err) {
+		t.Errorf("error lost its fault type: %v", err)
+	}
+	if !strings.Contains(err.Error(), "gave up after") {
+		t.Errorf("error does not mention exhaustion: %v", err)
+	}
+	after, _ := telemetry.DefaultRegistry.Value("retry_exhausted_total", "runner.schedule")
+	if after-before < 1 {
+		t.Errorf("retry_exhausted_total{runner.schedule} grew by %v, want >= 1", after-before)
+	}
+}
+
+func TestStageTimeoutInterruptsInjectedHang(t *testing.T) {
+	// A 2s injected hang in the build path against a 50ms stage budget:
+	// the cooperative deadline interrupts the delay and the run fails
+	// fast with a timeout error naming the stage.
+	loadFaults(t, 1, "buildsys.install:delay:d=2s")
+	r := testRunner(t)
+	r.StageTimeout = 50 * time.Millisecond
+	start := time.Now()
+	_, err := r.Run(&echoBenchmark{name: "echo"}, Options{System: "archer2"})
+	if err == nil {
+		t.Fatal("run succeeded despite injected hang")
+	}
+	if !strings.Contains(err.Error(), "timed out") || !strings.Contains(err.Error(), "build") {
+		t.Errorf("error does not report a build-stage timeout: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("run took %v: the injected hang was not interrupted", elapsed)
 	}
 }

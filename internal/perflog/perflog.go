@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/fom"
 )
 
@@ -166,8 +167,18 @@ func unescape(s string) string {
 // Write on the O_APPEND descriptor: concurrent appenders (several
 // benchctl processes, or benchd workers) then never interleave bytes
 // mid-line, which a buffered writer could do by splitting a line across
-// flushes.
+// flushes. The data is fsynced before Append reports success, so an
+// acknowledged entry survives a crash immediately after — results are
+// the whole point of a benchmark run, and perflogs are their only
+// durable record (Principle 6).
+//
+// Injection points: "perflog.open" fires before the file opens,
+// "perflog.sync" before the fsync — the crash-mid-run cases the chaos
+// suite exercises.
 func Append(root, system, benchmark string, entries ...*Entry) error {
+	if err := faultinject.Fire("perflog.open"); err != nil {
+		return fmt.Errorf("perflog: %w", err)
+	}
 	dir := filepath.Join(root, system)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("perflog: %w", err)
@@ -177,14 +188,25 @@ func Append(root, system, benchmark string, entries ...*Entry) error {
 	if err != nil {
 		return fmt.Errorf("perflog: %w", err)
 	}
-	defer f.Close()
 	var buf strings.Builder
 	for _, e := range entries {
 		buf.WriteString(e.Line())
 		buf.WriteByte('\n')
 	}
 	if _, err := f.WriteString(buf.String()); err != nil {
+		f.Close()
 		return fmt.Errorf("perflog: %w", err)
+	}
+	if err := faultinject.Fire("perflog.sync"); err != nil {
+		f.Close()
+		return fmt.Errorf("perflog: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("perflog: sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("perflog: close: %w", err)
 	}
 	return nil
 }

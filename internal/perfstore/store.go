@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/perflog"
 	"repro/internal/telemetry"
 )
@@ -140,7 +141,18 @@ func (s *Store) Sync() error {
 // next sync. If the file shrank below its checkpoint it was truncated
 // or rewritten, so its previous entries are evicted and it is re-read
 // from the start.
+//
+// Injection points: "perfstore.sync" fires before any work (a failed
+// re-sync, e.g. the filesystem dropping out from under the daemon);
+// "perfstore.read" can truncate the read stream early (a short read).
+// A short read is indistinguishable from a writer mid-append, so the
+// checkpoint simply stays before the torn tail and the next sync
+// re-reads it whole — fault tolerance by the same mechanism as normal
+// incremental ingest.
 func (s *Store) SyncFile(path string) error {
+	if err := faultinject.Fire("perfstore.sync"); err != nil {
+		return fmt.Errorf("perfstore: %w", err)
+	}
 	start := time.Now()
 	defer func() { metricSyncSeconds.Observe(time.Since(start).Seconds()) }()
 	s.ckMu.Lock()
@@ -178,7 +190,7 @@ func (s *Store) SyncFile(path string) error {
 		return fmt.Errorf("perfstore: %w", err)
 	}
 
-	r := bufio.NewReaderSize(f, 64*1024)
+	r := bufio.NewReaderSize(faultinject.Reader("perfstore.read", f), 64*1024)
 	var parsed int64
 	var added int
 	for {

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/fom"
 	"repro/internal/perflog"
 )
@@ -403,5 +404,128 @@ func TestSyncMissingRootIsNoop(t *testing.T) {
 	}
 	if s.Len() != 0 {
 		t.Error("phantom entries")
+	}
+}
+
+// A fault-injected short read mid-line must behave exactly like a
+// writer caught mid-append: the checkpoint stays before the torn tail,
+// nothing partial is indexed, and the next (clean) sync completes the
+// picture — convergence to filesystem truth through the normal
+// incremental path.
+func TestSyncRecoversFromFaultInjectedShortReads(t *testing.T) {
+	root := seedTree(t)
+	// Cut the very first read of archer2's file after 40 bytes (well
+	// inside the first line).
+	if err := faultinject.Load(1, []faultinject.Rule{
+		{Point: "perfstore.read", Kind: faultinject.KindShort, Bytes: 40, Times: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+
+	s := Open(root)
+	path := filepath.Join(root, "archer2", "hpgmg-fv.log")
+	if err := s.SyncFile(path); err != nil {
+		t.Fatalf("short read surfaced as an error: %v", err)
+	}
+	if got := s.Len(); got != 0 {
+		t.Fatalf("torn first line indexed %d entries", got)
+	}
+	st := s.Stats()
+	if st.BytesParsed != 0 {
+		t.Fatalf("checkpoint advanced past a torn line: %d bytes", st.BytesParsed)
+	}
+	// The schedule is exhausted; a re-sync reads the whole file.
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Len(); got != 5 {
+		t.Fatalf("entries after recovery sync = %d, want 5", got)
+	}
+	// And the recovered store matches a store that never saw faults.
+	clean := Open(root)
+	if err := clean.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if clean.Len() != s.Len() {
+		t.Fatalf("faulted store (%d) diverged from clean store (%d)", s.Len(), clean.Len())
+	}
+}
+
+// A short read that lands exactly on a line boundary just ingests a
+// prefix; truncating the file below the checkpoint afterwards must
+// still evict and re-read — the two recovery paths compose.
+func TestSyncShortReadThenTruncation(t *testing.T) {
+	root := seedTree(t)
+	path := filepath.Join(root, "archer2", "hpgmg-fv.log")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	var firstLineLen int64
+	for i, b := range raw {
+		if b == '\n' {
+			lines++
+			if lines == 1 {
+				firstLineLen = int64(i + 1)
+			}
+		}
+	}
+	if err := faultinject.Load(1, []faultinject.Rule{
+		{Point: "perfstore.read", Kind: faultinject.KindShort, Bytes: firstLineLen, Times: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+
+	s := Open(root)
+	if err := s.SyncFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Len(); got != 1 {
+		t.Fatalf("boundary short read ingested %d entries, want 1", got)
+	}
+	// Truncate the file to nothing: shrink below checkpoint -> evict.
+	if err := os.Truncate(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SyncFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Select(Query{System: "archer2"})); got != 0 {
+		t.Fatalf("%d stale entries survived truncation", got)
+	}
+	// Rewrite one entry; the store converges to the new truth.
+	e := entry("archer2", "hpgmg-fv", 42, t0, map[string]float64{"l0": 88})
+	if err := perflog.Append(root, "archer2", "hpgmg-fv", e); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SyncFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Select(Query{System: "archer2"})
+	if len(got) != 1 || got[0].JobID != 42 {
+		t.Fatalf("post-truncation state wrong: %d entries", len(got))
+	}
+}
+
+func TestSyncSurfacesInjectedSyncFault(t *testing.T) {
+	root := seedTree(t)
+	if err := faultinject.Load(1, []faultinject.Rule{
+		{Point: "perfstore.sync", Kind: faultinject.KindError, Times: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+	s := Open(root)
+	if err := s.Sync(); !faultinject.Is(err) {
+		t.Fatalf("sync fault not surfaced: %v", err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("recovery sync failed: %v", err)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("entries = %d, want 5", s.Len())
 	}
 }

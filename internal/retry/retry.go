@@ -1,0 +1,176 @@
+// Package retry is the pipeline's transient-failure policy: bounded
+// attempts with exponential backoff and jitter, gated on an error
+// classification so permanent errors (bad specs, unknown systems)
+// never burn retry budget. The paper's Principles 5–6 assume unattended
+// automation keeps producing trustworthy perflogs through infrastructure
+// hiccups; this package is where that tolerance is encoded, and its
+// retries_total / retry_exhausted_total counters are where it is audited.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+var (
+	metricRetries = telemetry.DefaultRegistry.Counter(
+		"retry_retries_total",
+		"Retried attempts after a transient failure, by operation.",
+		"op")
+	metricExhausted = telemetry.DefaultRegistry.Counter(
+		"retry_exhausted_total",
+		"Operations that failed transiently on every allowed attempt, by operation.",
+		"op")
+)
+
+// Transient is the classification hook: errors that implement it (for
+// example faultinject.Fault, or anything wrapped by Mark) declare
+// whether retrying can help.
+type Transient interface {
+	Transient() bool
+}
+
+// IsTransient reports whether err (or anything it wraps) declares
+// itself retryable.
+func IsTransient(err error) bool {
+	var t Transient
+	if errors.As(err, &t) {
+		return t.Transient()
+	}
+	return false
+}
+
+// transientErr marks a wrapped error retryable.
+type transientErr struct{ err error }
+
+func (e *transientErr) Error() string   { return e.err.Error() }
+func (e *transientErr) Unwrap() error   { return e.err }
+func (e *transientErr) Transient() bool { return true }
+
+// Mark wraps err so IsTransient reports true (nil stays nil).
+func Mark(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientErr{err: err}
+}
+
+// Policy configures retries for one class of operations. The zero
+// Policy performs exactly one attempt (no retries).
+type Policy struct {
+	// MaxAttempts is the total number of attempts including the first
+	// (<=1 means no retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 10ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff (default 1s).
+	MaxDelay time.Duration
+	// Multiplier grows the backoff per retry (default 2).
+	Multiplier float64
+	// Jitter is the fraction of each delay drawn uniformly at random
+	// and added, de-synchronising retry herds (default 0.2; 0 < j <= 1).
+	Jitter float64
+	// Rand supplies the jitter draw in [0,1) (default math/rand; fix it
+	// in tests for deterministic schedules).
+	Rand func() float64
+	// Sleep waits between attempts (default a context-aware sleep; tests
+	// substitute a no-op to run fast).
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Default is the pipeline's standard tolerance: three attempts, 10ms
+// base backoff doubling to at most 250ms.
+func Default() Policy {
+	return Policy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: 250 * time.Millisecond}
+}
+
+// Delay returns the backoff before retry number retryNo (1-based),
+// jitter included.
+func (p Policy) Delay(retryNo int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = time.Second
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	d := float64(base)
+	for i := 1; i < retryNo; i++ {
+		d *= mult
+		if d >= float64(maxd) {
+			d = float64(maxd)
+			break
+		}
+	}
+	jitter := p.Jitter
+	if jitter <= 0 {
+		jitter = 0.2
+	}
+	draw := rand.Float64
+	if p.Rand != nil {
+		draw = p.Rand
+	}
+	d += d * jitter * draw()
+	if d > float64(maxd) {
+		d = float64(maxd)
+	}
+	return time.Duration(d)
+}
+
+func (p Policy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Do runs f until it succeeds, fails permanently, exhausts the attempt
+// budget, or the context dies. f receives the 1-based attempt number so
+// callers can tag per-attempt spans. Each retry bumps
+// retries_total{op}; a transient error on the final attempt bumps
+// retry_exhausted_total{op} and is returned wrapped with the attempt
+// count.
+func (p Policy) Do(ctx context.Context, op string, f func(ctx context.Context, attempt int) error) error {
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = f(ctx, attempt)
+		if err == nil || !IsTransient(err) {
+			return err
+		}
+		if attempt >= attempts {
+			if attempts > 1 {
+				metricExhausted.With(op).Inc()
+				return fmt.Errorf("%s: gave up after %d attempts: %w", op, attempts, err)
+			}
+			return err
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		metricRetries.With(op).Inc()
+		if serr := p.sleep(ctx, p.Delay(attempt)); serr != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// fast is a test policy that never really sleeps.
+func fast(attempts int) Policy {
+	return Policy{
+		MaxAttempts: attempts,
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+		Rand:        func() float64 { return 0 },
+	}
+}
+
+func TestPermanentErrorIsNotRetried(t *testing.T) {
+	calls := 0
+	perm := errors.New("bad spec")
+	err := fast(5).Do(context.Background(), "op", func(context.Context, int) error {
+		calls++
+		return perm
+	})
+	if !errors.Is(err, perm) || calls != 1 {
+		t.Fatalf("permanent error retried: %d calls, err %v", calls, err)
+	}
+}
+
+func TestTransientErrorRetriesUntilSuccess(t *testing.T) {
+	calls := 0
+	var attempts []int
+	err := fast(5).Do(context.Background(), "op", func(_ context.Context, attempt int) error {
+		calls++
+		attempts = append(attempts, attempt)
+		if calls < 3 {
+			return Mark(errors.New("flaky"))
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("want success on 3rd call, got %d calls, err %v", calls, err)
+	}
+	if fmt.Sprint(attempts) != "[1 2 3]" {
+		t.Fatalf("attempt numbers %v", attempts)
+	}
+}
+
+func TestExhaustionWrapsLastError(t *testing.T) {
+	calls := 0
+	err := fast(3).Do(context.Background(), "op", func(context.Context, int) error {
+		calls++
+		return Mark(errors.New("still down"))
+	})
+	if calls != 3 {
+		t.Fatalf("made %d calls, want 3", calls)
+	}
+	if err == nil || !strings.Contains(err.Error(), "gave up after 3 attempts") {
+		t.Fatalf("exhaustion not surfaced: %v", err)
+	}
+	if !IsTransient(err) {
+		t.Fatal("exhausted error lost its transient classification")
+	}
+}
+
+func TestZeroPolicyIsSingleAttempt(t *testing.T) {
+	calls := 0
+	err := (Policy{}).Do(context.Background(), "op", func(context.Context, int) error {
+		calls++
+		return Mark(errors.New("flaky"))
+	})
+	if calls != 1 || err == nil {
+		t.Fatalf("zero policy made %d calls (err %v), want exactly 1", calls, err)
+	}
+	if strings.Contains(err.Error(), "gave up") {
+		t.Fatalf("single-attempt error should not mention giving up: %v", err)
+	}
+}
+
+func TestInjectedFaultsAreTransient(t *testing.T) {
+	r := faultinject.NewRegistry()
+	if err := r.Load(1, []faultinject.Rule{{Point: "p", Kind: faultinject.KindError, Times: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	err := fast(5).Do(context.Background(), "op", func(context.Context, int) error {
+		calls++
+		return r.Fire("p")
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("injected faults not retried through: %d calls, err %v", calls, err)
+	}
+}
+
+func TestCancelledContextStopsRetrying(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	p := Policy{MaxAttempts: 10} // real ctx-aware sleep
+	err := p.Do(ctx, "op", func(context.Context, int) error {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+		return Mark(errors.New("flaky"))
+	})
+	if err == nil || calls > 3 {
+		t.Fatalf("cancel did not stop retries: %d calls, err %v", calls, err)
+	}
+}
+
+func TestDelayGrowsAndCaps(t *testing.T) {
+	p := Policy{
+		BaseDelay:  10 * time.Millisecond,
+		MaxDelay:   80 * time.Millisecond,
+		Multiplier: 2,
+		Jitter:     0.5,
+		Rand:       func() float64 { return 0 }, // no jitter
+	}
+	want := []time.Duration{10, 20, 40, 80, 80}
+	for i, w := range want {
+		if got := p.Delay(i + 1); got != w*time.Millisecond {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+	// Full jitter draw adds Jitter fraction but still respects the cap.
+	p.Rand = func() float64 { return 0.999999 }
+	if got := p.Delay(1); got < 14*time.Millisecond || got > 15*time.Millisecond {
+		t.Errorf("jittered Delay(1) = %v, want ~15ms", got)
+	}
+	if got := p.Delay(4); got > 80*time.Millisecond {
+		t.Errorf("jittered Delay(4) = %v exceeds cap", got)
+	}
+}
+
+func TestMarkNil(t *testing.T) {
+	if Mark(nil) != nil {
+		t.Fatal("Mark(nil) != nil")
+	}
+	if IsTransient(nil) {
+		t.Fatal("nil is transient")
+	}
+	if IsTransient(errors.New("x")) {
+		t.Fatal("plain error is transient")
+	}
+	wrapped := fmt.Errorf("outer: %w", Mark(errors.New("inner")))
+	if !IsTransient(wrapped) {
+		t.Fatal("wrapped transient lost classification")
+	}
+}

@@ -3,6 +3,8 @@ package scheduler
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/faultinject"
 )
 
 // Local executes jobs immediately on the host, one at a time, in
@@ -26,10 +28,15 @@ func NewLocal(exec Executor) (*Local, error) {
 // Name implements Scheduler.
 func (l *Local) Name() string { return "local" }
 
-// Submit implements Scheduler: the job runs synchronously.
+// Submit implements Scheduler: the job runs synchronously. The
+// "scheduler.submit" injection point models the sbatch/qsub front end
+// rejecting transiently (a controller timeout, a full queue).
 func (l *Local) Submit(job *Job) (int, error) {
 	if err := job.Normalize(); err != nil {
 		return 0, err
+	}
+	if err := faultinject.Fire("scheduler.submit"); err != nil {
+		return 0, fmt.Errorf("scheduler: submit %s: %w", job.Name, err)
 	}
 	id := l.nextID
 	l.nextID++
@@ -62,8 +69,12 @@ func (l *Local) Submit(job *Job) (int, error) {
 	return id, nil
 }
 
-// Poll implements Scheduler.
+// Poll implements Scheduler. The "scheduler.poll" injection point
+// models squeue/qstat timing out.
 func (l *Local) Poll(id int) (*Info, error) {
+	if err := faultinject.Fire("scheduler.poll"); err != nil {
+		return nil, fmt.Errorf("scheduler: poll %d: %w", id, err)
+	}
 	info, ok := l.jobs[id]
 	if !ok {
 		return nil, fmt.Errorf("scheduler: no job %d", id)

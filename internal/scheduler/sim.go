@@ -3,6 +3,8 @@ package scheduler
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/faultinject"
 )
 
 // dialect captures what differs between the SLURM and PBS simulators:
@@ -81,10 +83,14 @@ func (s *Sim) FreeNodes() int { return len(s.free) }
 // Clock reports the current virtual time in seconds.
 func (s *Sim) Clock() float64 { return s.clock }
 
-// Submit implements Scheduler.
+// Submit implements Scheduler. The "scheduler.submit" injection point
+// models the batch controller rejecting transiently.
 func (s *Sim) Submit(job *Job) (int, error) {
 	if err := job.Normalize(); err != nil {
 		return 0, err
+	}
+	if err := faultinject.Fire("scheduler.submit"); err != nil {
+		return 0, fmt.Errorf("scheduler: submit %s: %w", job.Name, err)
 	}
 	nodes, _, err := nodesNeeded(job, s.coresPerNode)
 	if err != nil {
@@ -101,8 +107,12 @@ func (s *Sim) Submit(job *Job) (int, error) {
 	return id, nil
 }
 
-// Poll implements Scheduler.
+// Poll implements Scheduler. The "scheduler.poll" injection point
+// models squeue/qstat timing out.
 func (s *Sim) Poll(id int) (*Info, error) {
+	if err := faultinject.Fire("scheduler.poll"); err != nil {
+		return nil, fmt.Errorf("scheduler: poll %d: %w", id, err)
+	}
 	info, ok := s.jobs[id]
 	if !ok {
 		return nil, fmt.Errorf("scheduler: no job %d", id)

@@ -1,0 +1,271 @@
+package service
+
+// The chaos/soak suite: boot benchd against a seeded fault schedule,
+// hammer it with concurrent submitters and readers, and assert the
+// system's invariants held — no lost or duplicated results, no torn
+// perflog lines, the store converges to filesystem truth, and every
+// injected fault was either retried into success or surfaced as a
+// typed error. Run under the race detector in CI:
+//
+//	CHAOS_SEED=42 go test -race -run Chaos -count=2 ./internal/service
+//
+// The seed fixes every fault decision (see faultinject), so a failure
+// reproduces by exporting the same CHAOS_SEED.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/perflog"
+	"repro/internal/perfstore"
+	"repro/internal/retry"
+	"repro/internal/telemetry"
+)
+
+// chaosSchedule arms three distinct fault classes in the hot paths —
+// transient scheduler rejections, transient build failures, and short
+// perfstore reads — plus occasional submission-path faults so clients
+// see honest 503s. perflog.sync faults are deliberately absent: a
+// sync-failed-but-landed write retried by a client would duplicate a
+// line, and that failure mode is covered (unretried) by the perflog
+// unit tests instead.
+const chaosSchedule = "scheduler.submit:error:rate=0.25," +
+	"buildsys.install:error:rate=0.2," +
+	"perfstore.read:short:bytes=64:every=7," +
+	"service.submit:error:rate=0.15:times=8"
+
+func TestChaosSoak(t *testing.T) {
+	seed := int64(42)
+	if v := os.Getenv("CHAOS_SEED"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_SEED %q: %v", v, err)
+		}
+		seed = n
+	}
+	dir := t.TempDir()
+	perflogRoot := dir + "/perflogs"
+	srv, err := New(Config{
+		PerflogRoot: perflogRoot,
+		InstallTree: dir + "/install",
+		Workers:     4,
+		QueueDepth:  32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fast, shallow retry policy keeps the soak wall-clock short while
+	// exercising both outcomes: most injected faults are absorbed by a
+	// retry, and a few exhaust their attempts and surface as typed
+	// failures.
+	srv.Runner().Retry = retry.Policy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Metric assertions are delta-based so the suite is stable under
+	// -count=2 (the registry is process-global).
+	reg := telemetry.DefaultRegistry
+	firedBefore := reg.SumValues("faultinject_fired_total")
+	retriesBefore := reg.SumValues("retry_retries_total")
+	classBefore := map[string]float64{}
+	for _, pk := range [][2]string{
+		{"scheduler.submit", "error"}, {"buildsys.install", "error"}, {"perfstore.read", "short"},
+	} {
+		v, _ := reg.Value("faultinject_fired_total", pk[0], pk[1])
+		classBefore[pk[0]+"|"+pk[1]] = v
+	}
+
+	loadFaults(t, seed, chaosSchedule)
+
+	// Concurrent submitters; each retries 503s after the server's own
+	// Retry-After hint, so injected submit faults and queue-full both
+	// resolve to an accepted run or a test failure.
+	const clients, runsPerClient = 3, 8
+	systems := []string{"archer2", "csd3", "cosma8"}
+	client := ts.Client()
+	var mu sync.Mutex
+	var ids []string
+	var unavailable int
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < runsPerClient; i++ {
+				body := fmt.Sprintf(`{"benchmark": "babelstream-omp", "system": %q}`, systems[(c+i)%len(systems)])
+				accepted := false
+				for attempt := 0; attempt < 50 && !accepted; attempt++ {
+					resp, err := client.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(body))
+					if err != nil {
+						t.Errorf("client %d: %v", c, err)
+						return
+					}
+					data, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					switch resp.StatusCode {
+					case http.StatusAccepted:
+						var v struct {
+							ID string `json:"id"`
+						}
+						if err := json.Unmarshal(data, &v); err != nil {
+							t.Errorf("client %d: bad accept body: %v", c, err)
+							return
+						}
+						mu.Lock()
+						ids = append(ids, v.ID)
+						mu.Unlock()
+						accepted = true
+					case http.StatusServiceUnavailable:
+						if resp.Header.Get("Retry-After") == "" {
+							t.Errorf("client %d: 503 without Retry-After", c)
+						}
+						mu.Lock()
+						unavailable++
+						mu.Unlock()
+						time.Sleep(5 * time.Millisecond)
+					default:
+						t.Errorf("client %d: status %d: %s", c, resp.StatusCode, data)
+						return
+					}
+				}
+				if !accepted {
+					t.Errorf("client %d: submission never accepted", c)
+					return
+				}
+			}
+		}(c)
+	}
+
+	// Concurrent readers keep the query, metrics, and health paths hot
+	// while faults fire; anything other than 200 or a well-formed 503
+	// fails the suite.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			paths := []string{"/v1/query?benchmark=babelstream-omp", "/metrics", "/healthz", "/v1/runs"}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Get(ts.URL + paths[i%len(paths)])
+				if err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+					t.Errorf("reader: %s -> %d", paths[i%len(paths)], resp.StatusCode)
+					return
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	// Every accepted run must reach a terminal state.
+	deadline := time.Now().Add(120 * time.Second)
+	completed, failed := 0, 0
+	for _, id := range ids {
+		for {
+			var v runView
+			if code := getJSON(t, ts.URL+"/v1/runs/"+id, &v); code != http.StatusOK {
+				t.Fatalf("poll %s: status %d", id, code)
+			}
+			if v.Status == StatusCompleted {
+				completed++
+				break
+			}
+			if v.Status == StatusFailed {
+				failed++
+				// A failed run must carry a typed injected fault, not an
+				// unexplained error.
+				if !strings.Contains(v.Error, "faultinject") {
+					t.Errorf("run %s failed for a non-injected reason: %s", id, v.Error)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("run %s stuck in %s", id, v.Status)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	t.Logf("chaos seed=%d: %d accepted, %d completed, %d failed, %d transient 503s", seed, len(ids), completed, failed, unavailable)
+	if len(ids) != clients*runsPerClient {
+		t.Errorf("accepted %d runs, want %d", len(ids), clients*runsPerClient)
+	}
+
+	// Shutdown must drain cleanly while the schedule is still armed.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown under faults: %v", err)
+	}
+
+	// Invariant: no torn or corrupt perflog lines — ReadTree parses
+	// every line or errors.
+	entries, err := perflog.ReadTree(perflogRoot)
+	if err != nil {
+		t.Fatalf("perflog tree corrupt after soak: %v", err)
+	}
+	// Invariant: exactly one line per completed run — nothing lost,
+	// nothing duplicated.
+	if len(entries) != completed {
+		t.Errorf("perflog holds %d entries, %d runs completed (lost or duplicated results)", len(entries), completed)
+	}
+
+	// Invariant: with faults cleared, both the server's store and a
+	// cold-opened one converge to filesystem truth (short reads only
+	// ever deferred ingest, never dropped it).
+	faultinject.Reset()
+	if err := srv.Store().Sync(); err != nil {
+		t.Fatalf("post-soak sync: %v", err)
+	}
+	if got := srv.Store().Len(); got != len(entries) {
+		t.Errorf("server store has %d entries, filesystem has %d", got, len(entries))
+	}
+	fresh := perfstore.Open(perflogRoot)
+	if err := fresh.Sync(); err != nil {
+		t.Fatalf("cold store sync: %v", err)
+	}
+	if fresh.Len() != srv.Store().Len() {
+		t.Errorf("cold store has %d entries, warm store has %d", fresh.Len(), srv.Store().Len())
+	}
+
+	// Invariant: the injected faults and the retries that absorbed them
+	// are visible in /metrics — all three required fault classes fired.
+	if fired := reg.SumValues("faultinject_fired_total") - firedBefore; fired <= 0 {
+		t.Error("no injected faults recorded in faultinject_fired_total")
+	}
+	if retries := reg.SumValues("retry_retries_total") - retriesBefore; retries <= 0 {
+		t.Error("no retries recorded in retry_retries_total")
+	}
+	for _, pk := range [][2]string{
+		{"scheduler.submit", "error"}, {"buildsys.install", "error"}, {"perfstore.read", "short"},
+	} {
+		v, _ := reg.Value("faultinject_fired_total", pk[0], pk[1])
+		if v-classBefore[pk[0]+"|"+pk[1]] <= 0 {
+			t.Errorf("fault class %s:%s never fired during the soak", pk[0], pk[1])
+		}
+	}
+}

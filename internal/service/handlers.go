@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/perflog"
 	"repro/internal/perfstore"
+	"repro/internal/retry"
 	"repro/internal/telemetry"
 )
 
@@ -104,6 +105,26 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // writeError emits the daemon's uniform JSON error shape.
 func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// writeUnavailable reports a transient condition (full queue, store
+// wobble, injected fault) as 503 with a Retry-After hint, so
+// well-behaved clients back off and retry instead of treating the
+// daemon as broken.
+func writeUnavailable(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, err)
+}
+
+// syncError classifies a store re-sync failure: transient conditions
+// (including injected faults) are retryable 503s, anything else is a
+// genuine 500.
+func syncError(w http.ResponseWriter, err error) {
+	if retry.IsTransient(err) {
+		writeUnavailable(w, err)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err)
 }
 
 // runRequest is the POST /v1/runs body.
@@ -209,11 +230,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	run, err := s.Submit(req.Benchmark, req.System, req.Spec, req.NumTasks, req.TasksPerNode, req.CPUsPerTask)
 	switch {
-	case errors.Is(err, errQueueFull):
-		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, errQueueFull), errors.Is(err, errShuttingDown):
+		writeUnavailable(w, err)
 		return
-	case errors.Is(err, errShuttingDown):
-		writeError(w, http.StatusServiceUnavailable, err)
+	case retry.IsTransient(err):
+		// An injected or otherwise transient submission failure: the
+		// request was well-formed, the daemon just couldn't take it now.
+		writeUnavailable(w, err)
 		return
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
@@ -253,7 +276,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.store.Sync(); err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		syncError(w, err)
 		return
 	}
 	if q.Agg != "" {
@@ -308,7 +331,7 @@ func (s *Server) handleRegressions(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.store.Sync(); err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		syncError(w, err)
 		return
 	}
 	reports, err := s.store.Regressions(q, tolerance, window)

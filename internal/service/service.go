@@ -12,12 +12,15 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/perflog"
 	"repro/internal/perfstore"
+	"repro/internal/retry"
 	"repro/internal/suite"
 	"repro/internal/telemetry"
 )
@@ -56,6 +59,13 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (opt-in:
 	// profiling endpoints expose internals and cost CPU when scraped).
 	EnablePprof bool
+	// Retry overrides the runner's per-stage retry policy (nil keeps
+	// core.New's default). A pointer because a zero Policy is meaningful:
+	// it disables retries.
+	Retry *retry.Policy
+	// StageTimeout bounds each pipeline stage attempt in executed runs
+	// (0 keeps the runner's default of no limit).
+	StageTimeout time.Duration
 	// Logger receives structured run-lifecycle logs (default
 	// slog.Default).
 	Logger *slog.Logger
@@ -144,6 +154,12 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("service: initial ingest: %w", err)
 	}
 	runner := core.New(cfg.InstallTree, "")
+	if cfg.Retry != nil {
+		runner.Retry = *cfg.Retry
+	}
+	if cfg.StageTimeout > 0 {
+		runner.StageTimeout = cfg.StageTimeout
+	}
 	// The store is the single writer of the perflog tree for daemon
 	// runs: workers append through it so index and files stay in
 	// lockstep (Runner-side logging stays off).
@@ -166,6 +182,10 @@ func New(cfg Config) (*Server, error) {
 // Store exposes the underlying perfstore (the CLI-equivalent query
 // path).
 func (s *Server) Store() *perfstore.Store { return s.store }
+
+// Runner exposes the pipeline runner so harnesses (the chaos suite) can
+// tune its retry policy and stage timeout before submitting work.
+func (s *Server) Runner() *core.Runner { return s.runner }
 
 // Submit validates a run request and enqueues it. It fails fast on an
 // unknown benchmark or system, a negative layout override, or when the
@@ -194,6 +214,12 @@ func (s *Server) Submit(benchmark, system, specText string, numTasks, tasksPerNo
 			return nil, err
 		}
 		specText = norm
+	}
+	// The "service.submit" injection point models the submission path
+	// itself failing transiently (the store behind it wobbling); the
+	// handler maps it to 503 + Retry-After, like a full queue.
+	if err := faultinject.Fire("service.submit"); err != nil {
+		return nil, fmt.Errorf("service: submit: %w", err)
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -284,7 +310,19 @@ func (s *Server) execute(run *Run) {
 		return
 	}
 	entry := report.Entry
-	if err := s.store.Append(entry.System, entry.Benchmark, entry); err != nil {
+	// Append and ingest are deliberately split here rather than going
+	// through store.Append: the perflog write is not idempotent (a retry
+	// after landed-but-unacknowledged bytes would duplicate the line) so
+	// it runs exactly once, while the checkpointed SyncFile is safe to
+	// retry through transient store faults.
+	if err := perflog.Append(s.store.Root(), entry.System, entry.Benchmark, entry); err != nil {
+		s.fail(ctx, span, run, fmt.Errorf("run executed but perflog append failed: %w", err))
+		return
+	}
+	logPath := filepath.Join(s.store.Root(), entry.System, entry.Benchmark+".log")
+	if err := s.runner.Retry.Do(ctx, "benchd.ingest", func(context.Context, int) error {
+		return s.store.SyncFile(logPath)
+	}); err != nil {
 		s.fail(ctx, span, run, fmt.Errorf("run executed but ingest failed: %w", err))
 		return
 	}

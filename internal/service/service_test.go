@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/fom"
 	"repro/internal/perflog"
 	"repro/internal/telemetry"
@@ -634,5 +635,74 @@ func TestPprofGating(t *testing.T) {
 	// The API routes still work through the pprof-wrapping mux.
 	if code := getJSON(t, ts2.URL+"/healthz", nil); code != http.StatusOK {
 		t.Errorf("healthz through pprof mux: status = %d", code)
+	}
+}
+
+func loadFaults(t *testing.T, seed int64, schedule string) {
+	t.Helper()
+	rules, err := faultinject.ParseSchedule(schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.Load(seed, rules); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faultinject.Reset)
+}
+
+func TestInjectedSubmitFaultIs503WithRetryAfter(t *testing.T) {
+	_, ts := newTestServer(t)
+	loadFaults(t, 1, "service.submit:error:times=1")
+	body := `{"benchmark": "babelstream-omp", "system": "archer2"}`
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 carries no Retry-After hint")
+	}
+	// The fault was times=1: a client that honours the hint succeeds.
+	if code := postJSON(t, ts.URL+"/v1/runs", body, nil); code != http.StatusAccepted {
+		t.Errorf("retry after injected fault: status = %d, want 202", code)
+	}
+}
+
+func TestTransientStoreSyncFaultIs503(t *testing.T) {
+	srv, ts := newTestServer(t)
+	// The query path only re-syncs files that exist; seed one.
+	e := &perflog.Entry{
+		Time: time.Date(2023, 7, 7, 10, 0, 0, 0, time.UTC), Benchmark: "bs",
+		System: "archer2", Result: "pass",
+		FOMs: map[string]fom.Value{}, Extra: map[string]string{},
+	}
+	if err := perflog.Append(srv.Store().Root(), e.System, e.Benchmark, e); err != nil {
+		t.Fatal(err)
+	}
+	loadFaults(t, 1, "perfstore.sync:error:times=1")
+	resp, err := http.Get(ts.URL + "/v1/query?benchmark=bs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query during store fault: status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 carries no Retry-After hint")
+	}
+	var out struct {
+		Count int `json:"count"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/query?benchmark=bs", &out); code != http.StatusOK {
+		t.Fatalf("query after fault cleared: status = %d, want 200", code)
+	}
+	if out.Count != 1 {
+		t.Errorf("entries after recovery = %d, want 1", out.Count)
 	}
 }

@@ -232,6 +232,68 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...str
 	return &HistogramVec{f: r.family(name, help, kindHistogram, bounds, labels)}
 }
 
+// Value returns the current value of one registered series — a
+// counter's count, a gauge's level, or a histogram's observation count
+// — and whether that exact (name, label values) series exists. It reads
+// without creating, so probing an unused series does not materialise
+// it; tests and the chaos harness assert on metrics through this
+// instead of scraping text.
+func (r *Registry) Value(name string, labelValues ...string) (float64, bool) {
+	r.mu.Lock()
+	f, ok := r.families[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	key := strings.Join(labelValues, labelSep)
+	f.mu.Lock()
+	m, ok := f.series[key]
+	f.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	switch m := m.(type) {
+	case *Counter:
+		return m.Value(), true
+	case *Gauge:
+		return m.Value(), true
+	case *Histogram:
+		return float64(m.Count()), true
+	}
+	return 0, false
+}
+
+// SumValues returns the summed value of every series in a family
+// (counters and gauges; histograms contribute their observation
+// counts). Useful when the interesting quantity spans label values,
+// e.g. faults fired across every injection point.
+func (r *Registry) SumValues(name string) float64 {
+	r.mu.Lock()
+	f, ok := r.families[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	f.mu.Lock()
+	series := make([]any, 0, len(f.series))
+	for _, m := range f.series {
+		series = append(series, m)
+	}
+	f.mu.Unlock()
+	var total float64
+	for _, m := range series {
+		switch m := m.(type) {
+		case *Counter:
+			total += m.Value()
+		case *Gauge:
+			total += m.Value()
+		case *Histogram:
+			total += float64(m.Count())
+		}
+	}
+	return total
+}
+
 // WritePrometheus renders every family in text exposition format,
 // families sorted by name, series in creation order.
 func (r *Registry) WritePrometheus(w io.Writer) error {

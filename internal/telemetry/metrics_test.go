@@ -174,3 +174,38 @@ func TestConcurrentMetricUpdates(t *testing.T) {
 		t.Errorf("histogram count = %d, want %d", n, workers*perWorker)
 	}
 }
+
+func TestValueAndSumValues(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("calls_total", "calls", "op")
+	c.With("a").Add(3)
+	c.With("b").Add(4)
+	g := r.Gauge("depth", "depth")
+	g.With().Set(9)
+	h := r.Histogram("lat", "latency", nil)
+	h.With().Observe(0.5)
+	h.With().Observe(1.5)
+
+	if v, ok := r.Value("calls_total", "a"); !ok || v != 3 {
+		t.Errorf("Value(calls_total, a) = %v, %v", v, ok)
+	}
+	if v, ok := r.Value("depth"); !ok || v != 9 {
+		t.Errorf("Value(depth) = %v, %v", v, ok)
+	}
+	if v, ok := r.Value("lat"); !ok || v != 2 {
+		t.Errorf("Value(lat) = %v, %v; want histogram count 2", v, ok)
+	}
+	if _, ok := r.Value("calls_total", "missing"); ok {
+		t.Error("missing series reported present")
+	}
+	if _, ok := r.Value("no_such_family"); ok {
+		t.Error("missing family reported present")
+	}
+	// Probing must not materialise series.
+	if got := r.SumValues("calls_total"); got != 7 {
+		t.Errorf("SumValues(calls_total) = %v, want 7", got)
+	}
+	if got := r.SumValues("nope"); got != 0 {
+		t.Errorf("SumValues(nope) = %v", got)
+	}
+}

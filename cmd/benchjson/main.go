@@ -1,0 +1,151 @@
+// Command benchjson converts `go test -bench` output into a JSON
+// benchmark-trajectory record. CI runs it on every push and uploads the
+// result as BENCH_<sha>.json, so the repository accumulates one
+// machine-readable performance point per commit — the same perflog
+// discipline the paper prescribes for benchmarks, applied to the
+// harness itself.
+//
+//	go test -bench . -benchmem ./... | benchjson -sha "$GITHUB_SHA" -out BENCH_$GITHUB_SHA.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is the trajectory file: one invocation's benchmarks, keyed to
+// the commit they measured.
+type Record struct {
+	SHA        string      `json:"sha,omitempty"`
+	Go         string      `json:"go,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one result line. Metrics holds every "value unit" pair
+// the line reported — ns/op always, B/op and allocs/op under -benchmem,
+// plus any custom b.ReportMetric units.
+type Benchmark struct {
+	Pkg        string             `json:"pkg"`
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	sha := fs.String("sha", "", "commit SHA to stamp into the record")
+	outPath := fs.String("out", "", "output path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	rec, err := parse(in)
+	if err != nil {
+		return err
+	}
+	rec.SHA = *sha
+	if len(rec.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark result lines in input")
+	}
+	text, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	text = append(text, '\n')
+	if *outPath == "" {
+		_, err = stdout.Write(text)
+		return err
+	}
+	return os.WriteFile(*outPath, text, 0o644)
+}
+
+// parse reads `go test -bench` output. Header lines (pkg:, goos:, cpu:)
+// interleave with result lines when several packages run in one
+// invocation; the most recent pkg: line owns the results that follow.
+func parse(r io.Reader) (*Record, error) {
+	rec := &Record{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+		case strings.HasPrefix(line, "cpu: "):
+			rec.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+		case strings.HasPrefix(line, "goarch: "), strings.HasPrefix(line, "goos: "):
+			// environment noise; goarch is implied by cpu
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseResult(line)
+			if !ok {
+				continue // e.g. a "BenchmarkFoo" progress line without results
+			}
+			b.Pkg = pkg
+			rec.Benchmarks = append(rec.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if v := os.Getenv("GOVERSION"); v != "" {
+		rec.Go = v
+	}
+	return rec, nil
+}
+
+// parseResult decodes one result line:
+//
+//	BenchmarkStoreSelect/indexed-8   100   429001 ns/op   105448 B/op   35 allocs/op
+//
+// The trailing -N on the name is the GOMAXPROCS the run used; metrics
+// are "value unit" pairs.
+func parseResult(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	// Shortest valid line: name, iterations, value, unit.
+	if len(fields) < 4 || (len(fields)-2)%2 != 0 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Metrics: map[string]float64{}}
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], procs
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

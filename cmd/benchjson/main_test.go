@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/perfstore
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkStoreSelect/indexed-8         	     100	    429001 ns/op	  105448 B/op	      35 allocs/op
+BenchmarkStoreSelect/scan-8            	     100	   3045791 ns/op	  176528 B/op	      23 allocs/op
+BenchmarkStoreAppend-8                 	  750000	      1611 ns/op	     308 B/op	       8 allocs/op
+PASS
+ok  	repro/internal/perfstore	7.076s
+pkg: repro
+BenchmarkHostBabelStreamTriad-8        	       3	 401202984 ns/op	        95.20 triad_GBps
+PASS
+ok  	repro	2.100s
+`
+
+func TestParseMultiPackage(t *testing.T) {
+	rec, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rec.Benchmarks))
+	}
+	if rec.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu = %q", rec.CPU)
+	}
+	b := rec.Benchmarks[0]
+	if b.Pkg != "repro/internal/perfstore" || b.Name != "BenchmarkStoreSelect/indexed" || b.Procs != 8 {
+		t.Errorf("first benchmark = %+v", b)
+	}
+	if b.Iterations != 100 || b.Metrics["ns/op"] != 429001 || b.Metrics["allocs/op"] != 35 {
+		t.Errorf("metrics = %+v", b)
+	}
+	// The pkg: header between blocks must re-home later results.
+	host := rec.Benchmarks[3]
+	if host.Pkg != "repro" || host.Name != "BenchmarkHostBabelStreamTriad" {
+		t.Errorf("host benchmark = %+v", host)
+	}
+	// Custom b.ReportMetric units ride along with the built-ins.
+	if host.Metrics["triad_GBps"] != 95.20 {
+		t.Errorf("custom metric = %+v", host.Metrics)
+	}
+}
+
+func TestParseSkipsMalformedLines(t *testing.T) {
+	in := `pkg: repro
+Benchmarking something that is not a result line
+BenchmarkBroken-8 notanumber 12 ns/op
+BenchmarkOK-4 10 5.0 ns/op
+`
+	rec, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Benchmarks) != 1 || rec.Benchmarks[0].Name != "BenchmarkOK" {
+		t.Fatalf("benchmarks = %+v", rec.Benchmarks)
+	}
+}
+
+func TestRunWritesStampedFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_abc123.json")
+	var stdout bytes.Buffer
+	err := run([]string{"-sha", "abc123", "-out", out}, strings.NewReader(sampleOutput), &stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	if err := json.Unmarshal(text, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.SHA != "abc123" || len(rec.Benchmarks) != 4 {
+		t.Fatalf("record = %+v", rec)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var stdout bytes.Buffer
+	if err := run(nil, strings.NewReader("PASS\nok repro 1.0s\n"), &stdout); err == nil {
+		t.Fatal("expected an error for input without benchmarks")
+	}
+}

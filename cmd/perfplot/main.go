@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/perfstore"
 	"repro/internal/postprocess"
@@ -52,6 +53,8 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   perfplot table   --perflog DIR                     print the assimilated frame
                    [--columns benchmark,stage_*]     project columns (trailing * = prefix)
+                   [--system S] [--benchmark B]      filter through the indexed query path
+                   [--since RFC3339] [--limit N]     time window / most recent N entries
   perfplot bar     --perflog DIR --config FILE       render a configured bar chart
                    [--svg FILE]                      also write an SVG version
   perfplot csv     --perflog DIR --out FILE          export the frame as CSV
@@ -78,14 +81,33 @@ func cmdTable(args []string) error {
 	fs := flag.NewFlagSet("table", flag.ContinueOnError)
 	root := fs.String("perflog", "perflogs", "perflog root")
 	columns := fs.String("columns", "", "comma-separated columns to show; a trailing * matches a prefix")
+	system := fs.String("system", "", "only entries from this system")
+	benchmark := fs.String("benchmark", "", "only entries for this benchmark")
+	since := fs.String("since", "", "only entries at or after this RFC3339 timestamp")
+	limit := fs.Int("limit", 0, "only the most recent N matching entries (0 = all)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *limit < 0 {
+		return fmt.Errorf("--limit must be non-negative")
+	}
+	q := perfstore.Query{System: *system, Benchmark: *benchmark, Limit: *limit}
+	if *since != "" {
+		t, err := time.Parse(time.RFC3339, *since)
+		if err != nil {
+			return fmt.Errorf("bad --since timestamp %q (want RFC3339)", *since)
+		}
+		q.Since = t
 	}
 	store, err := loadStore(*root)
 	if err != nil {
 		return err
 	}
-	f, err := postprocess.ToFrame(store.Select(perfstore.Query{}))
+	entries := store.Select(q)
+	if len(entries) == 0 {
+		return fmt.Errorf("no perflog entries match the filters")
+	}
+	f, err := postprocess.ToFrame(entries)
 	if err != nil {
 		return err
 	}

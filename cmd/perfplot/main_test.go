@@ -75,6 +75,47 @@ func TestTableCommand(t *testing.T) {
 	}
 }
 
+func TestTableFilters(t *testing.T) {
+	root := seedPerflogs(t)
+	// --system narrows the frame to one system's entries.
+	out, err := capture(t, func() error {
+		return run([]string{"table", "--perflog", root, "--system", "csd3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "csd3") || strings.Contains(out, "archer2") {
+		t.Errorf("--system csd3 output wrong:\n%s", out)
+	}
+	// --since drops the earlier runs, --limit keeps the most recent.
+	out, err = capture(t, func() error {
+		return run([]string{"table", "--perflog", root,
+			"--system", "archer2", "--since", "2023-07-07T12:00:00Z", "--limit", "1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "60") || strings.Contains(out, "95.36") {
+		t.Errorf("--since/--limit output wrong:\n%s", out)
+	}
+	// Unmatched filters and bad flag values are errors, not empty tables.
+	if _, err := capture(t, func() error {
+		return run([]string{"table", "--perflog", root, "--system", "nonesuch"})
+	}); err == nil {
+		t.Error("unmatched --system did not error")
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"table", "--perflog", root, "--since", "yesterday"})
+	}); err == nil {
+		t.Error("bad --since did not error")
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"table", "--perflog", root, "--limit", "-1"})
+	}); err == nil {
+		t.Error("negative --limit did not error")
+	}
+}
+
 func TestBarCommandWithConfigAndSVG(t *testing.T) {
 	root := seedPerflogs(t)
 	cfgPath := filepath.Join(t.TempDir(), "plot.yaml")

@@ -1,0 +1,166 @@
+package perfstore
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/perflog"
+)
+
+func newBenchRNG() *rand.Rand { return rand.New(rand.NewSource(2)) }
+
+// benchStore is shared across the BenchmarkStore* suite: building a
+// 100k-entry store takes ~1s, so it is paid once per `go test -bench`
+// invocation, not once per sub-benchmark.
+var benchStore *Store
+
+func benchStoreN(b *testing.B, n int) *Store {
+	b.Helper()
+	if benchStore == nil || benchStore.Len() != n {
+		benchStore = memStore(1, n)
+	}
+	return benchStore
+}
+
+const benchN = 100_000
+
+// selectiveQuery matches one (system, benchmark, extra) slice of the
+// store — the dashboard-style lookup the posting-list planner exists
+// for. On the 5×3 value pools of randEntry it keeps roughly 1/30 of
+// the entries.
+func selectiveQuery() Query {
+	return Query{
+		System:    "archer2",
+		Benchmark: "hpgmg-fv",
+		Extra:     map[string]string{"num_tasks": "8"},
+	}
+}
+
+func BenchmarkStoreSelect(b *testing.B) {
+	s := benchStoreN(b, benchN)
+	q := selectiveQuery()
+	b.Run("indexed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if len(s.Select(q)) == 0 {
+				b.Fatal("no matches")
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if len(s.selectScan(q)) == 0 {
+				b.Fatal("no matches")
+			}
+		}
+	})
+}
+
+func BenchmarkStoreSelectLimit(b *testing.B) {
+	s := benchStoreN(b, benchN)
+	q := selectiveQuery()
+	q.Limit = 20
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(s.Select(q)) != 20 {
+			b.Fatal("short result")
+		}
+	}
+}
+
+func BenchmarkStoreSelectSince(b *testing.B) {
+	s := benchStoreN(b, benchN)
+	// A narrow trailing time window: the byTime view binary-searches to
+	// the start instead of scanning 100k entries.
+	q := Query{Since: t0.Add(490 * time.Minute)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(s.Select(q)) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+func BenchmarkStoreAggregate(b *testing.B) {
+	s := benchStoreN(b, benchN)
+	q := selectiveQuery()
+	q.FOM = "l0"
+	q.Agg = "mean"
+	q.GroupBy = []string{"system", "benchmark"}
+	b.Run("indexed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			aggs, err := s.Aggregate(q)
+			if err != nil || len(aggs) == 0 {
+				b.Fatalf("aggregate: %v (%d groups)", err, len(aggs))
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			aggs := aggregateEntries(s.selectScan(q), q.GroupBy, q.FOM)
+			if len(aggs) == 0 {
+				b.Fatal("no groups")
+			}
+		}
+	})
+}
+
+// BenchmarkStoreAggregateAll group-bys the whole store (no selective
+// predicate): the win here is the parallel per-shard partials, not the
+// index.
+func BenchmarkStoreAggregateAll(b *testing.B) {
+	s := benchStoreN(b, benchN)
+	q := Query{FOM: "l0", Agg: "mean", GroupBy: []string{"system", "benchmark"}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		aggs, err := s.Aggregate(q)
+		if err != nil || len(aggs) == 0 {
+			b.Fatalf("aggregate: %v", err)
+		}
+	}
+}
+
+func BenchmarkStoreRegressions(b *testing.B) {
+	s := benchStoreN(b, benchN)
+	q := Query{System: "archer2", FOM: "l0", GroupBy: []string{"system", "benchmark"}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		reports, err := s.Regressions(q, 0.1, 0)
+		if err != nil || len(reports) == 0 {
+			b.Fatalf("regressions: %v", err)
+		}
+	}
+}
+
+// BenchmarkStoreGroupKey measures the per-entry keying cost that
+// Aggregate and Regressions pay in their inner loops.
+func BenchmarkStoreGroupKey(b *testing.B) {
+	e := randEntry(newBenchRNG(), 0)
+	k := newGroupKeyer([]string{"system", "benchmark", "extra.num_tasks"})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(k.raw(e)) == 0 {
+			b.Fatal("empty key")
+		}
+	}
+}
+
+// BenchmarkStoreAppend is the per-entry ingest cost with index
+// maintenance included (no disk: add() only).
+func BenchmarkStoreAppend(b *testing.B) {
+	rng := newBenchRNG()
+	pool := make([]*perflog.Entry, 4096)
+	for i := range pool {
+		pool[i] = randEntry(rng, i)
+	}
+	s := Open("unused")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.add(pool[i%len(pool)], "mem.log")
+	}
+}

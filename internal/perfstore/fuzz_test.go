@@ -2,6 +2,7 @@ package perfstore
 
 import (
 	"net/url"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -64,6 +65,25 @@ func FuzzQuery(f *testing.F) {
 		// string; re-parsing it must agree on the raw values.
 		if _, err := url.ParseQuery(raw); err != nil {
 			t.Fatalf("accepted unparseable query %q", raw)
+		}
+		// Round trip through the canonical encoding: whatever ParseQuery
+		// accepted must re-encode to something ParseQuery accepts again,
+		// describing the same query — and the encoding must be a fixed
+		// point, or it could not serve as a cache key.
+		enc := q.Encode()
+		q2, err := ParseQuery(enc)
+		if err != nil {
+			t.Fatalf("Encode of accepted query is rejected: %q -> %q: %v", raw, enc, err)
+		}
+		if enc2 := q2.Encode(); enc2 != enc {
+			t.Fatalf("Encode not canonical: %q -> %q -> %q", raw, enc, enc2)
+		}
+		if !q2.Since.Equal(q.Since) {
+			t.Fatalf("since changed in round trip: %v -> %v (%q)", q.Since, q2.Since, enc)
+		}
+		q.Since, q2.Since = time.Time{}, time.Time{} // compared above; locations may differ
+		if !reflect.DeepEqual(q, q2) {
+			t.Fatalf("query changed in round trip:\n%+v\n%+v\nvia %q", q, q2, enc)
 		}
 		// A store must be able to run any accepted query without
 		// panicking, even empty.

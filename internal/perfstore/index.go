@@ -1,0 +1,473 @@
+package perfstore
+
+import (
+	"math"
+	"runtime"
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/perflog"
+)
+
+// The secondary index. Each shard keeps, besides its append-only entry
+// arena:
+//
+//   - posting lists: for every indexed predicate value (system,
+//     benchmark, result, FOM presence, extra key=value) the ascending
+//     arena indices of the entries carrying it. A selective query
+//     intersects the relevant lists instead of scanning the arena.
+//   - a time-ordered view (byTime): arena indices sorted by
+//     (timestamp, ingest sequence), so Since binary-searches its lower
+//     bound and Limit takes a bounded tail instead of materializing
+//     everything first.
+//
+// Both are maintained incrementally under the shard lock on add and
+// evict; queries only ever take the read lock. Entries are immutable
+// once added, so index reads may hand out *perflog.Entry freely.
+
+// Posting-list keys. The kind byte namespaces the value so a system
+// named "pass" never collides with result=pass.
+func keySystem(v string) string    { return "s\x00" + v }
+func keyBenchmark(v string) string { return "b\x00" + v }
+func keyResult(v string) string    { return "r\x00" + v }
+func keyFOM(name string) string    { return "f\x00" + name }
+func keyExtra(k, v string) string  { return "x\x00" + k + "\x00" + v }
+
+// stored is one arena slot: the entry, its source file (for eviction),
+// and a store-wide ingest sequence number that breaks timestamp ties so
+// every ordering in the store is total and deterministic. t caches the
+// entry's timestamp as Unix nanoseconds — every ordering comparison in
+// the hot paths (byTime inserts, result sorts, cross-shard merges) is
+// an integer compare instead of a time.Time method call.
+type stored struct {
+	entry *perflog.Entry
+	file  string
+	t     int64
+	seq   uint64
+	dead  bool
+}
+
+// timeNanos is the ordering key for a timestamp. Outside UnixNano's
+// representable range (roughly years 1678–2262) it saturates, so
+// far-out timestamps still order totally and consistently across the
+// index, scan, and merge paths — ties within a saturated extreme fall
+// to ingest sequence.
+func timeNanos(tm time.Time) int64 {
+	switch y := tm.Year(); {
+	case y <= 1678:
+		return math.MinInt64
+	case y >= 2262:
+		return math.MaxInt64
+	}
+	return tm.UnixNano()
+}
+
+type shard struct {
+	mu      sync.RWMutex
+	entries []stored // arena; append-only, dead slots tombstoned
+	deadN   int
+	live    int
+	byTime  []int32          // live arena indices, sorted by (Time, seq)
+	post    map[string][]int32 // posting lists, ascending arena indices
+	systems map[string]int   // live entries per system (Systems/Stats)
+}
+
+func (sh *shard) init() {
+	sh.post = map[string][]int32{}
+	sh.systems = map[string]int{}
+}
+
+// addLocked indexes one entry. Callers hold sh.mu.
+func (sh *shard) addLocked(e *perflog.Entry, file string, seq uint64) {
+	idx := int32(len(sh.entries))
+	t := timeNanos(e.Time)
+	sh.entries = append(sh.entries, stored{entry: e, file: file, t: t, seq: seq})
+	sh.post[keySystem(e.System)] = append(sh.post[keySystem(e.System)], idx)
+	sh.post[keyBenchmark(e.Benchmark)] = append(sh.post[keyBenchmark(e.Benchmark)], idx)
+	if e.Result != "" {
+		sh.post[keyResult(e.Result)] = append(sh.post[keyResult(e.Result)], idx)
+	}
+	for name := range e.FOMs {
+		sh.post[keyFOM(name)] = append(sh.post[keyFOM(name)], idx)
+	}
+	for k, v := range e.Extra {
+		sh.post[keyExtra(k, v)] = append(sh.post[keyExtra(k, v)], idx)
+	}
+	// Insert into the time-ordered view. Perflogs are appended roughly
+	// chronologically, so the common case is an append at the end; an
+	// out-of-order timestamp pays one binary search plus a copy. The new
+	// entry carries the largest seq, so it sorts after existing
+	// equal-timestamp entries — (Time, seq) order by construction.
+	pos := len(sh.byTime)
+	if pos > 0 && sh.entries[sh.byTime[pos-1]].t > t {
+		pos = sort.Search(len(sh.byTime), func(i int) bool {
+			return sh.entries[sh.byTime[i]].t > t
+		})
+	}
+	sh.byTime = append(sh.byTime, 0)
+	copy(sh.byTime[pos+1:], sh.byTime[pos:])
+	sh.byTime[pos] = idx
+	sh.live++
+	sh.systems[e.System]++
+}
+
+// evictLocked tombstones every entry ingested from file and filters it
+// out of the posting lists and the time view. Callers hold sh.mu.
+func (sh *shard) evictLocked(file string) int {
+	removed := 0
+	for i := range sh.entries {
+		st := &sh.entries[i]
+		if st.dead || st.file != file {
+			continue
+		}
+		st.dead = true
+		removed++
+		sys := st.entry.System
+		if sh.systems[sys]--; sh.systems[sys] == 0 {
+			delete(sh.systems, sys)
+		}
+	}
+	if removed == 0 {
+		return 0
+	}
+	sh.live -= removed
+	sh.deadN += removed
+	kept := sh.byTime[:0]
+	for _, i := range sh.byTime {
+		if !sh.entries[i].dead {
+			kept = append(kept, i)
+		}
+	}
+	sh.byTime = kept
+	for key, list := range sh.post {
+		kl := list[:0]
+		for _, i := range list {
+			if !sh.entries[i].dead {
+				kl = append(kl, i)
+			}
+		}
+		if len(kl) == 0 {
+			delete(sh.post, key)
+		} else {
+			sh.post[key] = kl
+		}
+	}
+	// Tombstones accumulate across truncation/rewrite cycles; compact
+	// once the majority of the arena is dead so memory stays bounded by
+	// the live set.
+	if sh.deadN > len(sh.entries)/2 {
+		sh.compactLocked()
+	}
+	return removed
+}
+
+// compactLocked rewrites the arena without tombstones and remaps every
+// index structure. byTime and the posting lists hold only live indices,
+// so the remap is total for them.
+func (sh *shard) compactLocked() {
+	remap := make([]int32, len(sh.entries))
+	kept := sh.entries[:0]
+	for i := range sh.entries {
+		if sh.entries[i].dead {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = int32(len(kept))
+		kept = append(kept, sh.entries[i])
+	}
+	sh.entries = kept
+	for j, i := range sh.byTime {
+		sh.byTime[j] = remap[i]
+	}
+	for _, list := range sh.post {
+		for j, i := range list {
+			list[j] = remap[i]
+		}
+	}
+	sh.deadN = 0
+}
+
+// hit is one matching entry with its ordering key — timestamp nanos
+// plus the tie-break sequence — the unit of the cross-shard merge.
+type hit struct {
+	e   *perflog.Entry
+	t   int64
+	seq uint64
+}
+
+func hitLess(a, b hit) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+// cmpHits is hitLess for slices.SortFunc, which skips the reflection
+// swap overhead of sort.Slice in the per-shard result sort.
+func cmpHits(a, b hit) int {
+	switch {
+	case a.t != b.t:
+		if a.t < b.t {
+			return -1
+		}
+		return 1
+	case a.seq != b.seq:
+		if a.seq < b.seq {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// collect returns the shard's matching entries in (Time, seq) order,
+// trimmed to the most recent limit when limit > 0. It is the per-shard
+// leg of Select.
+func (sh *shard) collect(m *matcher, limit int) []hit {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if len(m.keys) > 0 {
+		idxs, ok := sh.intersectLocked(m.keys)
+		if !ok {
+			return nil
+		}
+		hits := make([]hit, 0, len(idxs))
+		for _, idx := range idxs {
+			st := &sh.entries[idx]
+			if m.hasSince && st.t < m.sinceNano {
+				continue
+			}
+			hits = append(hits, hit{st.entry, st.t, st.seq})
+		}
+		slices.SortFunc(hits, cmpHits)
+		if limit > 0 && len(hits) > limit {
+			hits = hits[len(hits)-limit:]
+		}
+		return hits
+	}
+	// No indexed predicate: every live entry matches except those before
+	// Since. The time view makes both Since and Limit sublinear — a
+	// binary-searched lower bound and a most-recent tail — instead of a
+	// full scan with a post-hoc sort.
+	lo := 0
+	if m.hasSince {
+		lo = sort.Search(len(sh.byTime), func(i int) bool {
+			return sh.entries[sh.byTime[i]].t >= m.sinceNano
+		})
+	}
+	n := len(sh.byTime) - lo
+	if n <= 0 {
+		return nil
+	}
+	if limit > 0 && n > limit {
+		lo = len(sh.byTime) - limit
+		n = limit
+	}
+	hits := make([]hit, 0, n)
+	for _, idx := range sh.byTime[lo:] {
+		st := &sh.entries[idx]
+		hits = append(hits, hit{st.entry, st.t, st.seq})
+	}
+	return hits
+}
+
+// intersectLocked plans and runs the posting-list intersection for the
+// query's indexed predicates: the rarest list drives, the others are
+// probed with an advancing galloping search — the probe starts where
+// the previous one left off, doubles its step until it overshoots, then
+// binary-searches the bracketed window. Dense probed lists cost ~O(1)
+// per probe, sparse ones O(log gap); either way no per-element closure
+// calls. ok is false when some predicate value has no posting list at
+// all — zero matches, no work.
+func (sh *shard) intersectLocked(keys []string) ([]int32, bool) {
+	lists := make([][]int32, 0, len(keys))
+	for _, k := range keys {
+		l, ok := sh.post[k]
+		if !ok {
+			return nil, false
+		}
+		lists = append(lists, l)
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	base := lists[0]
+	rest := lists[1:]
+	if len(rest) == 0 {
+		return base, true
+	}
+	cursors := make([]int, len(rest))
+	out := make([]int32, 0, len(base))
+outer:
+	for _, idx := range base {
+		for li, l := range rest {
+			pos := cursors[li]
+			if pos < len(l) && l[pos] < idx {
+				step := 1
+				for pos+step < len(l) && l[pos+step] < idx {
+					pos += step
+					step <<= 1
+				}
+				hi := pos + step
+				if hi > len(l) {
+					hi = len(l)
+				}
+				for pos++; pos < hi; { // l[pos-1] < idx ≤ l[hi] (if any)
+					mid := int(uint(pos+hi) >> 1)
+					if l[mid] < idx {
+						pos = mid + 1
+					} else {
+						hi = mid
+					}
+				}
+			}
+			cursors[li] = pos
+			if pos == len(l) || l[pos] != idx {
+				continue outer
+			}
+		}
+		out = append(out, idx)
+	}
+	return out, true
+}
+
+// aggregate computes per-group partial aggregates over the shard's
+// matching entries — the map-merge leg of Store.Aggregate. Partials
+// carry (lastTime, lastSeq) so the merged Last is exactly the
+// latest-by-time value, shard boundaries notwithstanding.
+func (sh *shard) aggregate(m *matcher, keyer *groupKeyer, fomName string) map[string]*partialAgg {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	partials := map[string]*partialAgg{}
+	visit := func(st *stored) {
+		if m.hasSince && st.t < m.sinceNano {
+			return
+		}
+		raw := keyer.raw(st.entry)
+		pa := partials[string(raw)]
+		if pa == nil {
+			pa = newPartialAgg(string(raw))
+			partials[pa.group] = pa
+		}
+		pa.observe(st, fomName)
+	}
+	if len(m.keys) > 0 {
+		idxs, ok := sh.intersectLocked(m.keys)
+		if !ok {
+			return partials
+		}
+		for _, idx := range idxs {
+			visit(&sh.entries[idx])
+		}
+		return partials
+	}
+	for _, idx := range sh.byTime {
+		visit(&sh.entries[idx])
+	}
+	return partials
+}
+
+// fanShards runs fn(i) for every shard on a bounded worker pool sized
+// by GOMAXPROCS — queries parallelize across shards without spawning
+// more runnable goroutines than there are CPUs to run them.
+func (s *Store) fanShards(fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > shardCount {
+		workers = shardCount
+	}
+	if workers <= 1 {
+		for i := 0; i < shardCount; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= shardCount {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// mergeHits merges per-shard (Time, seq)-ordered hit slices into one
+// entry slice in the same order. With a limit it merges backwards from
+// the tails and stops after limit entries, so at most limit entries are
+// ever materialized — each shard already trimmed itself to its own most
+// recent limit, and the global answer is a subset of those tails.
+func mergeHits(parts [][]hit, limit int) []*perflog.Entry {
+	live := parts[:0]
+	total := 0
+	for _, p := range parts {
+		if len(p) > 0 {
+			live = append(live, p)
+			total += len(p)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		out := make([]*perflog.Entry, 0, len(live[0]))
+		for _, h := range live[0] {
+			out = append(out, h.e)
+		}
+		if limit > 0 && len(out) > limit {
+			out = out[len(out)-limit:]
+		}
+		return out
+	}
+	if limit > 0 && limit < total {
+		out := make([]*perflog.Entry, 0, limit)
+		tails := make([]int, len(live))
+		for i, p := range live {
+			tails[i] = len(p)
+		}
+		for len(out) < limit {
+			best := -1
+			for i, p := range live {
+				if tails[i] == 0 {
+					continue
+				}
+				if best == -1 || hitLess(live[best][tails[best]-1], p[tails[i]-1]) {
+					best = i
+				}
+			}
+			if best == -1 {
+				break
+			}
+			tails[best]--
+			out = append(out, live[best][tails[best]].e)
+		}
+		for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
+		}
+		return out
+	}
+	out := make([]*perflog.Entry, 0, total)
+	heads := make([]int, len(live))
+	for len(out) < total {
+		best := -1
+		for i, p := range live {
+			if heads[i] == len(p) {
+				continue
+			}
+			if best == -1 || hitLess(p[heads[i]], live[best][heads[best]]) {
+				best = i
+			}
+		}
+		out = append(out, live[best][heads[best]].e)
+		heads[best]++
+	}
+	return out
+}

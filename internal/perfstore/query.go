@@ -35,7 +35,60 @@ type Query struct {
 	Agg string
 }
 
-func (q *Query) matches(e *perflog.Entry) bool {
+// matcher is a Query compiled once per call: the extras map is
+// flattened into a deterministic slice (no per-entry map iteration),
+// the Since check is precomputed, and the posting-list keys for every
+// indexed predicate are ready for the shard planner.
+type matcher struct {
+	q        Query
+	extras   []extraKV
+	hasSince bool
+	// sinceNano is Since as the store's integer ordering key; every
+	// path (index, time view, scan) filters with it so they agree on
+	// the window boundary by construction.
+	sinceNano int64
+	// keys are the posting-list keys of the query's equality
+	// predicates; empty means "everything matches except Since".
+	keys []string
+}
+
+type extraKV struct{ k, v string }
+
+func (q Query) compile() *matcher {
+	m := &matcher{q: q, hasSince: !q.Since.IsZero()}
+	if m.hasSince {
+		m.sinceNano = timeNanos(q.Since)
+	}
+	if q.System != "" {
+		m.keys = append(m.keys, keySystem(q.System))
+	}
+	if q.Benchmark != "" {
+		m.keys = append(m.keys, keyBenchmark(q.Benchmark))
+	}
+	if q.Result != "" {
+		m.keys = append(m.keys, keyResult(q.Result))
+	}
+	if q.FOM != "" {
+		m.keys = append(m.keys, keyFOM(q.FOM))
+	}
+	if len(q.Extra) > 0 {
+		m.extras = make([]extraKV, 0, len(q.Extra))
+		for k, v := range q.Extra {
+			m.extras = append(m.extras, extraKV{k, v})
+			m.keys = append(m.keys, keyExtra(k, v))
+		}
+		sort.Slice(m.extras, func(i, j int) bool { return m.extras[i].k < m.extras[j].k })
+	}
+	return m
+}
+
+// matchEntry is the full per-entry equality predicate — the scan
+// path's check, and the contract the index path is property-tested
+// against. The Since window is filtered separately through the stored
+// ordering key (matcher.sinceNano) so every path draws the boundary
+// identically.
+func (m *matcher) matchEntry(e *perflog.Entry) bool {
+	q := &m.q
 	if q.System != "" && e.System != q.System {
 		return false
 	}
@@ -50,11 +103,8 @@ func (q *Query) matches(e *perflog.Entry) bool {
 			return false
 		}
 	}
-	if !q.Since.IsZero() && e.Time.Before(q.Since) {
-		return false
-	}
-	for k, v := range q.Extra {
-		if e.Extra[k] != v {
+	for _, kv := range m.extras {
+		if e.Extra[kv.k] != kv.v {
 			return false
 		}
 	}
@@ -81,14 +131,58 @@ func groupField(e *perflog.Entry, key string) string {
 	return e.Extra[key]
 }
 
+// groupKeyer renders group-by keys with the field resolvers bound once
+// per query (not re-switched per entry) and a reused buffer, so keying
+// an entry allocates nothing until a new group is actually inserted
+// into a map (via string(raw)).
+type groupKeyer struct {
+	fields []func(e *perflog.Entry) string
+	buf    []byte
+}
+
+func newGroupKeyer(groupBy []string) *groupKeyer {
+	k := &groupKeyer{fields: make([]func(e *perflog.Entry) string, len(groupBy))}
+	for i, name := range groupBy {
+		switch name {
+		case "system":
+			k.fields[i] = func(e *perflog.Entry) string { return e.System }
+		case "benchmark":
+			k.fields[i] = func(e *perflog.Entry) string { return e.Benchmark }
+		case "partition":
+			k.fields[i] = func(e *perflog.Entry) string { return e.Partition }
+		case "environ":
+			k.fields[i] = func(e *perflog.Entry) string { return e.Environ }
+		case "spec":
+			k.fields[i] = func(e *perflog.Entry) string { return e.Spec }
+		case "result":
+			k.fields[i] = func(e *perflog.Entry) string { return e.Result }
+		default:
+			name := name
+			k.fields[i] = func(e *perflog.Entry) string { return e.Extra[name] }
+		}
+	}
+	return k
+}
+
+// raw renders the entry's group key into the keyer's reused buffer.
+// The returned slice is only valid until the next call; map lookups on
+// string(raw) stay allocation-free, and callers materialize a string
+// only when inserting a new group.
+func (k *groupKeyer) raw(e *perflog.Entry) []byte {
+	k.buf = k.buf[:0]
+	for i, f := range k.fields {
+		if i > 0 {
+			k.buf = append(k.buf, '/')
+		}
+		k.buf = append(k.buf, f(e)...)
+	}
+	return k.buf
+}
+
 // GroupKey joins the entry's group-by fields with "/" — the same shape
 // perfplot regress prints.
 func GroupKey(e *perflog.Entry, groupBy []string) string {
-	parts := make([]string, len(groupBy))
-	for i, k := range groupBy {
-		parts[i] = groupField(e, k)
-	}
-	return strings.Join(parts, "/")
+	return string(newGroupKeyer(groupBy).raw(e))
 }
 
 // aggNames is the vocabulary ParseQuery accepts for agg=.
@@ -167,6 +261,44 @@ func ParseQuery(rawQuery string) (Query, error) {
 	return q, nil
 }
 
+// Encode renders the query in the GET /v1/query wire format, with keys
+// sorted — a canonical form: any query ParseQuery accepts round-trips
+// through Encode to an equivalent Query (fuzzed), and equal queries
+// encode identically, which makes Encode a cache key.
+func (q Query) Encode() string {
+	v := url.Values{}
+	if q.System != "" {
+		v.Set("system", q.System)
+	}
+	if q.Benchmark != "" {
+		v.Set("benchmark", q.Benchmark)
+	}
+	if q.FOM != "" {
+		v.Set("fom", q.FOM)
+	}
+	if q.Result != "" {
+		v.Set("result", q.Result)
+	}
+	for k, val := range q.Extra {
+		v.Set("extra."+k, val)
+	}
+	if !q.Since.IsZero() {
+		// Nano form: ParseQuery accepts fractional seconds, so Encode
+		// must not drop them or the round-trip would lose time.
+		v.Set("since", q.Since.Format(time.RFC3339Nano))
+	}
+	if q.Limit > 0 {
+		v.Set("limit", strconv.Itoa(q.Limit))
+	}
+	if len(q.GroupBy) > 0 {
+		v.Set("group_by", strings.Join(q.GroupBy, ","))
+	}
+	if q.Agg != "" {
+		v.Set("agg", q.Agg)
+	}
+	return v.Encode()
+}
+
 // Aggregate is one group's summary over a FOM.
 type Aggregate struct {
 	Group string  `json:"group"`
@@ -178,10 +310,66 @@ type Aggregate struct {
 	Unit  string  `json:"unit,omitempty"`
 }
 
+// partialAgg is one group's running summary inside a single shard —
+// the unit of Aggregate's map-merge. (lastT, lastSeq) identify the
+// group's latest entry in global (time, ingest) order, so merging
+// partials from different shards still yields the true Last.
+type partialAgg struct {
+	group    string
+	count    int
+	min, max float64
+	sum      float64
+	last     float64
+	lastT    int64 // timeNanos of the entry that supplied last
+	lastSeq  uint64
+	unit     string
+}
+
+func newPartialAgg(group string) *partialAgg {
+	return &partialAgg{group: group, min: math.Inf(1), max: math.Inf(-1)}
+}
+
+func (p *partialAgg) observe(st *stored, fomName string) {
+	p.count++
+	if fomName == "" {
+		return
+	}
+	v := st.entry.FOMs[fomName]
+	p.min = math.Min(p.min, v.Value)
+	p.max = math.Max(p.max, v.Value)
+	p.sum += v.Value
+	if p.count == 1 || st.t > p.lastT || (st.t == p.lastT && st.seq > p.lastSeq) {
+		p.last = v.Value
+		p.lastT = st.t
+		p.lastSeq = st.seq
+		p.unit = v.Unit
+	}
+}
+
+func (p *partialAgg) merge(o *partialAgg) {
+	first := p.count == 0
+	p.count += o.count
+	p.min = math.Min(p.min, o.min)
+	p.max = math.Max(p.max, o.max)
+	p.sum += o.sum
+	if first || o.lastT > p.lastT || (o.lastT == p.lastT && o.lastSeq > p.lastSeq) {
+		p.last = o.last
+		p.lastT = o.lastT
+		p.lastSeq = o.lastSeq
+		p.unit = o.unit
+	}
+}
+
 // Aggregate groups the matching entries by q.GroupBy (default
 // system,benchmark) and summarises q.FOM per group: min, max, mean, and
 // the latest value by timestamp. With Agg=count, q.FOM may be empty and
 // only Count is meaningful.
+//
+// Without a Limit the shards aggregate independently (each over its own
+// posting-list intersection or time view) and the per-group partials
+// are map-merged — no entry slice is ever materialized. A Limit makes
+// the group contents depend on the global most-recent cut, so that case
+// aggregates over Select's bounded result instead.
 func (s *Store) Aggregate(q Query) ([]Aggregate, error) {
 	if q.FOM == "" && q.Agg != "count" {
 		return nil, fmt.Errorf("perfstore: aggregate needs Query.FOM")
@@ -190,22 +378,66 @@ func (s *Store) Aggregate(q Query) ([]Aggregate, error) {
 	if len(groupBy) == 0 {
 		groupBy = []string{"system", "benchmark"}
 	}
-	entries := s.Select(q) // already time-ordered
+	if q.Limit > 0 {
+		return aggregateEntries(s.Select(q), groupBy, q.FOM), nil
+	}
+	m := q.compile()
+	parts := make([]map[string]*partialAgg, shardCount)
+	s.fanShards(func(i int) {
+		parts[i] = s.shards[i].aggregate(m, newGroupKeyer(groupBy), q.FOM)
+	})
+	merged := map[string]*partialAgg{}
+	for _, part := range parts {
+		for key, pa := range part {
+			if cur := merged[key]; cur != nil {
+				cur.merge(pa)
+			} else {
+				merged[key] = pa
+			}
+		}
+	}
+	keys := make([]string, 0, len(merged))
+	for key := range merged {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	out := make([]Aggregate, 0, len(keys))
+	for _, key := range keys {
+		pa := merged[key]
+		agg := Aggregate{Group: pa.group, Count: pa.count}
+		if q.FOM != "" && pa.count > 0 {
+			agg.Min, agg.Max = pa.min, pa.max
+			agg.Mean = pa.sum / float64(pa.count)
+			agg.Last = pa.last
+			agg.Unit = pa.unit
+		}
+		out = append(out, agg)
+	}
+	return out, nil
+}
+
+// aggregateEntries is the sequential aggregation over an already
+// selected, time-ascending entry slice — the pre-index reference the
+// property tests compare the map-merge path against, and the path
+// Aggregate takes when a Limit bounds the match set.
+func aggregateEntries(entries []*perflog.Entry, groupBy []string, fomName string) []Aggregate {
+	keyer := newGroupKeyer(groupBy)
 	byGroup := map[string]*Aggregate{}
 	var order []string
 	for _, e := range entries {
-		key := GroupKey(e, groupBy)
-		agg := byGroup[key]
+		raw := keyer.raw(e)
+		agg := byGroup[string(raw)]
 		if agg == nil {
+			key := string(raw)
 			agg = &Aggregate{Group: key, Min: math.Inf(1), Max: math.Inf(-1)}
 			byGroup[key] = agg
 			order = append(order, key)
 		}
 		agg.Count++
-		if q.FOM == "" {
+		if fomName == "" {
 			continue
 		}
-		v := e.FOMs[q.FOM]
+		v := e.FOMs[fomName]
 		agg.Unit = v.Unit
 		agg.Min = math.Min(agg.Min, v.Value)
 		agg.Max = math.Max(agg.Max, v.Value)
@@ -216,12 +448,12 @@ func (s *Store) Aggregate(q Query) ([]Aggregate, error) {
 	out := make([]Aggregate, 0, len(order))
 	for _, key := range order {
 		agg := byGroup[key]
-		if q.FOM != "" && agg.Count > 0 {
+		if fomName != "" && agg.Count > 0 {
 			agg.Mean /= float64(agg.Count)
 		} else {
 			agg.Min, agg.Max = 0, 0
 		}
 		out = append(out, *agg)
 	}
-	return out, nil
+	return out
 }

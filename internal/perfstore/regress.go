@@ -73,11 +73,20 @@ func (s *Store) Regressions(q Query, tolerance float64, window int) ([]Report, e
 	if len(groupBy) == 0 {
 		groupBy = []string{"system", "benchmark"}
 	}
-	entries := s.Select(q) // time-ascending
-	series := map[string][]float64{}
+	entries := s.Select(q) // time-ascending, fanned out across shards
+	// Pointer values keep the hot loop allocation-free: the group key is
+	// rendered into the keyer's reused buffer and only materialized as a
+	// string when a new group appears.
+	keyer := newGroupKeyer(groupBy)
+	series := map[string]*[]float64{}
 	for _, e := range entries {
-		key := GroupKey(e, groupBy)
-		series[key] = append(series[key], e.FOMs[q.FOM].Value)
+		raw := keyer.raw(e)
+		vals := series[string(raw)]
+		if vals == nil {
+			vals = new([]float64)
+			series[string(raw)] = vals
+		}
+		*vals = append(*vals, e.FOMs[q.FOM].Value)
 	}
 	keys := make([]string, 0, len(series))
 	for k := range series {
@@ -86,7 +95,7 @@ func (s *Store) Regressions(q Query, tolerance float64, window int) ([]Report, e
 	sort.Strings(keys)
 	var out []Report
 	for _, key := range keys {
-		r, ok := EvalSeries(series[key], tolerance, window)
+		r, ok := EvalSeries(*series[key], tolerance, window)
 		if !ok {
 			continue
 		}

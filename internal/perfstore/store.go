@@ -21,9 +21,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faultinject"
@@ -49,25 +51,21 @@ var (
 		"perfstore_sync_seconds",
 		"Wall-clock duration of one SyncFile call.",
 		nil).With()
+	// Query-path metrics: which plan served each Select/Aggregate —
+	// "postings" (posting-list intersection) or "time" (the ordered
+	// time view). The linear reference scan is test/bench-only and has
+	// no series here.
+	metricSelects = telemetry.DefaultRegistry.Counter(
+		"perfstore_query_total",
+		"Queries served, by plan path.",
+		"path")
 )
 
 // shardCount fixes the number of index shards. Sharding is by system:
-// queries that name a system touch one shard's lock, so ingest on one
-// system never blocks reads on another.
+// ingest for a system touches one shard's lock, so ingest on one system
+// never blocks reads on another, and queries fan out across shards on a
+// bounded worker pool.
 const shardCount = 16
-
-type shard struct {
-	mu sync.RWMutex
-	// bySystem holds the entries of every system hashing to this shard,
-	// in ingest order, tagged with their source file so truncation can
-	// evict them.
-	bySystem map[string][]stored
-}
-
-type stored struct {
-	entry *perflog.Entry
-	file  string
-}
 
 // checkpoint is the incremental-ingest state of one perflog file.
 type checkpoint struct {
@@ -89,6 +87,13 @@ type Store struct {
 	root   string
 	shards [shardCount]shard
 
+	// seq hands out the store-wide ingest sequence that breaks
+	// timestamp ties; gen counts index mutations (adds and evictions)
+	// so readers can stamp derived results and detect staleness with
+	// one atomic load (the service layer's aggregate cache).
+	seq atomic.Uint64
+	gen atomic.Uint64
+
 	ckMu  sync.Mutex
 	ck    map[string]*checkpoint
 	stats struct {
@@ -104,10 +109,16 @@ type Store struct {
 func Open(root string) *Store {
 	s := &Store{root: root, ck: map[string]*checkpoint{}}
 	for i := range s.shards {
-		s.shards[i].bySystem = map[string][]stored{}
+		s.shards[i].init()
 	}
 	return s
 }
+
+// Generation returns the index mutation counter. Any result computed
+// from the store can be stamped with the generation observed before the
+// computation; the stamp still matching means no entry was added or
+// evicted since, so the result is current.
+func (s *Store) Generation() uint64 { return s.gen.Load() }
 
 // Root returns the perflog tree this store ingests from.
 func (s *Store) Root() string { return s.root }
@@ -232,31 +243,25 @@ func (s *Store) Append(system, benchmark string, entries ...*perflog.Entry) erro
 
 func (s *Store) add(e *perflog.Entry, file string) {
 	sh := s.shardFor(e.System)
+	seq := s.seq.Add(1)
 	sh.mu.Lock()
-	sh.bySystem[e.System] = append(sh.bySystem[e.System], stored{entry: e, file: file})
+	sh.addLocked(e, file, seq)
 	sh.mu.Unlock()
+	s.gen.Add(1)
 }
 
 // evictFile removes every entry ingested from one file (truncation
-// recovery). Callers hold ckMu.
+// recovery) and repairs the shard indexes. Callers hold ckMu.
 func (s *Store) evictFile(path string) {
+	removed := 0
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
-		for sys, entries := range sh.bySystem {
-			kept := entries[:0]
-			for _, se := range entries {
-				if se.file != path {
-					kept = append(kept, se)
-				}
-			}
-			if len(kept) == 0 {
-				delete(sh.bySystem, sys)
-			} else {
-				sh.bySystem[sys] = kept
-			}
-		}
+		removed += sh.evictLocked(path)
 		sh.mu.Unlock()
+	}
+	if removed > 0 {
+		s.gen.Add(1)
 	}
 }
 
@@ -283,10 +288,8 @@ func (s *Store) Stats() Stats {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
-		out.Systems += len(sh.bySystem)
-		for _, entries := range sh.bySystem {
-			out.Entries += len(entries)
-		}
+		out.Systems += len(sh.systems)
+		out.Entries += sh.live
 		sh.mu.RUnlock()
 	}
 	return out
@@ -301,7 +304,7 @@ func (s *Store) Systems() []string {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
-		for sys := range sh.bySystem {
+		for sys := range sh.systems {
 			out = append(out, sys)
 		}
 		sh.mu.RUnlock()
@@ -313,34 +316,53 @@ func (s *Store) Systems() []string {
 // Select returns the entries matching the query, ordered by timestamp
 // ascending (ties keep ingest order). A Limit keeps the most recent
 // Limit entries — the tail of the time series.
+//
+// The plan: every equality predicate (system, benchmark, result, FOM
+// presence, extras) is indexed, so each shard intersects the matching
+// posting lists — cost proportional to the rarest predicate, not the
+// store. A query with no equality predicate reads the shard's
+// time-ordered view, where Since binary-searches its lower bound and
+// Limit takes a bounded tail. Shards are evaluated in parallel on a
+// bounded worker pool and merged in (time, ingest) order; with a Limit
+// the merge walks the per-shard tails backwards and stops after Limit
+// entries, so the full match set is never materialized.
 func (s *Store) Select(q Query) []*perflog.Entry {
-	var out []*perflog.Entry
-	collect := func(entries []stored) {
-		for _, se := range entries {
-			if q.matches(se.entry) {
-				out = append(out, se.entry)
-			}
-		}
-	}
-	if q.System != "" {
-		// Single-system query: one shard, one read lock.
-		sh := s.shardFor(q.System)
-		sh.mu.RLock()
-		collect(sh.bySystem[q.System])
-		sh.mu.RUnlock()
+	m := q.compile()
+	parts := make([][]hit, shardCount)
+	s.fanShards(func(i int) { parts[i] = s.shards[i].collect(m, q.Limit) })
+	if len(m.keys) > 0 {
+		metricSelects.With("postings").Inc()
 	} else {
-		for i := range s.shards {
-			sh := &s.shards[i]
-			sh.mu.RLock()
-			for _, entries := range sh.bySystem {
-				collect(entries)
-			}
-			sh.mu.RUnlock()
-		}
+		metricSelects.With("time").Inc()
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
-	if q.Limit > 0 && len(out) > q.Limit {
-		out = out[len(out)-q.Limit:]
+	return mergeHits(parts, q.Limit)
+}
+
+// selectScan is the reference implementation Select is measured and
+// property-tested against: a full linear scan with per-entry predicate
+// checks and a post-hoc sort — the pre-index query path. It must return
+// results identical to Select for every query.
+func (s *Store) selectScan(q Query) []*perflog.Entry {
+	m := q.compile()
+	var hits []hit
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for j := range sh.entries {
+			st := &sh.entries[j]
+			if !st.dead && !(m.hasSince && st.t < m.sinceNano) && m.matchEntry(st.entry) {
+				hits = append(hits, hit{st.entry, st.t, st.seq})
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	slices.SortFunc(hits, cmpHits)
+	if q.Limit > 0 && len(hits) > q.Limit {
+		hits = hits[len(hits)-q.Limit:]
+	}
+	out := make([]*perflog.Entry, len(hits))
+	for i, h := range hits {
+		out[i] = h.e
 	}
 	return out
 }

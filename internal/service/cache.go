@@ -1,0 +1,100 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// Cache metrics: dashboard-style pollers should show up as a high hit
+// ratio here; every store write flips the generation and the next read
+// of each key is a miss.
+var (
+	metricCacheHits = telemetry.DefaultRegistry.Counter(
+		"benchd_query_cache_hits_total",
+		"Query-result cache hits, by result kind.",
+		"kind")
+	metricCacheMisses = telemetry.DefaultRegistry.Counter(
+		"benchd_query_cache_misses_total",
+		"Query-result cache misses (including generation-stale entries), by result kind.",
+		"kind")
+	metricCacheEntries = telemetry.DefaultRegistry.Gauge(
+		"benchd_query_cache_entries",
+		"Entries currently resident in the query-result cache.").With()
+)
+
+// queryCache memoizes computed aggregate/regression results keyed on
+// the query's canonical encoding and stamped with the perfstore
+// generation observed before computing. A hit requires the stamp to
+// still match the store's current generation — any add or eviction
+// since invalidates every cached result implicitly, with no write-path
+// hook needed. Size is bounded; the least recently used entry is
+// evicted first.
+type queryCache struct {
+	mu    sync.Mutex
+	max   int
+	lru   *list.List // front = most recently used; values are *cacheEntry
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	gen uint64
+	val any
+}
+
+func newQueryCache(max int) *queryCache {
+	return &queryCache{max: max, lru: list.New(), items: map[string]*list.Element{}}
+}
+
+// get returns the cached value for key if it was computed at the given
+// store generation. A generation-stale entry is dropped on sight: it
+// can never become valid again.
+func (c *queryCache) get(key string, gen uint64) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	ce := el.Value.(*cacheEntry)
+	if ce.gen != gen {
+		c.lru.Remove(el)
+		delete(c.items, key)
+		metricCacheEntries.Set(float64(len(c.items)))
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return ce.val, true
+}
+
+// put stores a computed value stamped with the generation the store was
+// at before the computation started — stamping before, not after, means
+// a write racing the computation leaves the entry stale (a safe miss)
+// rather than current (a stale hit).
+func (c *queryCache) put(key string, gen uint64, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		ce := el.Value.(*cacheEntry)
+		ce.gen = gen
+		ce.val = val
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.lru.PushFront(&cacheEntry{key: key, gen: gen, val: val})
+	for len(c.items) > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+	metricCacheEntries.Set(float64(len(c.items)))
+}
+
+// len reports the resident entry count (tests and /healthz).
+func (c *queryCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}

@@ -269,6 +269,11 @@ func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
 // aggregates when agg= is present. The store re-syncs incrementally
 // first so entries appended by out-of-band CLI runs are visible — an
 // unchanged tree costs zero parsed bytes.
+//
+// Aggregate results are served through the generation-stamped cache: a
+// repeated dashboard query against an unchanged store costs one map
+// lookup (the no-op Sync leaves the generation untouched, so the stamp
+// still matches).
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q, err := perfstore.ParseQuery(r.URL.RawQuery)
 	if err != nil {
@@ -280,11 +285,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if q.Agg != "" {
+		// The generation is read before computing: a write racing the
+		// aggregation leaves the cached entry stale (next read misses
+		// and recomputes) instead of current-but-wrong.
+		gen := s.store.Generation()
+		key := "aggregate|" + q.Encode()
+		if v, ok := s.cache.get(key, gen); ok {
+			metricCacheHits.With("aggregate").Inc()
+			aggs := v.([]perfstore.Aggregate)
+			writeJSON(w, http.StatusOK, map[string]any{"aggregates": aggs, "count": len(aggs)})
+			return
+		}
+		metricCacheMisses.With("aggregate").Inc()
 		aggs, err := s.store.Aggregate(q)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
+		s.cache.put(key, gen, aggs)
 		writeJSON(w, http.StatusOK, map[string]any{"aggregates": aggs, "count": len(aggs)})
 		return
 	}
@@ -334,10 +352,24 @@ func (s *Server) handleRegressions(w http.ResponseWriter, r *http.Request) {
 		syncError(w, err)
 		return
 	}
-	reports, err := s.store.Regressions(q, tolerance, window)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+	// Regression reports ride the same generation-stamped cache as
+	// aggregates; tolerance and window are part of the key because they
+	// change the result for identical store contents.
+	gen := s.store.Generation()
+	key := fmt.Sprintf("regressions|tolerance=%g|window=%d|%s", tolerance, window, q.Encode())
+	var reports []perfstore.Report
+	if v, ok := s.cache.get(key, gen); ok {
+		metricCacheHits.With("regressions").Inc()
+		reports = v.([]perfstore.Report)
+	} else {
+		metricCacheMisses.With("regressions").Inc()
+		var err error
+		reports, err = s.store.Regressions(q, tolerance, window)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		s.cache.put(key, gen, reports)
 	}
 	if reports == nil {
 		reports = []perfstore.Report{} // an empty set is [], not null
@@ -432,6 +464,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"bytes_parsed": stats.BytesParsed,
 		"runs_tracked": runs,
 		"queued":       queued,
+		"query_cache":  s.cache.len(),
 		"workers":      s.cfg.Workers,
 		"perflog_root": s.store.Root(),
 	})

@@ -56,6 +56,9 @@ type Config struct {
 	// TraceBuffer bounds the in-memory ring of recent run traces served
 	// by /v1/traces (default 256).
 	TraceBuffer int
+	// QueryCacheSize bounds the generation-stamped LRU cache of
+	// aggregate and regression results (default 256 entries).
+	QueryCacheSize int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (opt-in:
 	// profiling endpoints expose internals and cost CPU when scraped).
 	EnablePprof bool
@@ -83,6 +86,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TraceBuffer <= 0 {
 		c.TraceBuffer = 256
+	}
+	if c.QueryCacheSize <= 0 {
+		c.QueryCacheSize = 256
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
@@ -131,6 +137,7 @@ type Server struct {
 	store  *perfstore.Store
 	runner *core.Runner
 	tracer *telemetry.Tracer
+	cache  *queryCache
 
 	queue chan *Run
 
@@ -168,6 +175,7 @@ func New(cfg Config) (*Server, error) {
 		store:   store,
 		runner:  runner,
 		tracer:  telemetry.NewTracer(cfg.TraceBuffer),
+		cache:   newQueryCache(cfg.QueryCacheSize),
 		queue:   make(chan *Run, cfg.QueueDepth),
 		runs:    map[string]*Run{},
 		started: time.Now(),

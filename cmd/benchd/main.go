@@ -46,6 +46,9 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("benchd", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	perflogRoot := fs.String("perflog", "perflogs", "perflog root directory")
+	dataDir := fs.String("data-dir", "", "segment store directory (empty = in-memory store, full re-parse each boot)")
+	sealThreshold := fs.Int("seal-threshold", 4096, "head entries at which the maintenance loop seals a segment")
+	compactSegments := fs.Int("compact-segments", 8, "sealed segment count that triggers compaction")
 	tree := fs.String("tree", "install", "install tree directory")
 	workers := fs.Int("workers", 2, "concurrent benchmark executions")
 	queueDepth := fs.Int("queue", 64, "maximum pending runs")
@@ -95,16 +98,19 @@ func run(args []string) error {
 	}
 
 	srv, err := service.New(service.Config{
-		PerflogRoot:    *perflogRoot,
-		InstallTree:    *tree,
-		Workers:        *workers,
-		QueueDepth:     *queueDepth,
-		RequestTimeout: *timeout,
-		TraceBuffer:    *traceBuf,
-		EnablePprof:    *enablePprof,
-		Logger:         logger,
-		Retry:          policy,
-		StageTimeout:   *stageTimeout,
+		PerflogRoot:     *perflogRoot,
+		DataDir:         *dataDir,
+		SealThreshold:   *sealThreshold,
+		CompactSegments: *compactSegments,
+		InstallTree:     *tree,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		RequestTimeout:  *timeout,
+		TraceBuffer:     *traceBuf,
+		EnablePprof:     *enablePprof,
+		Logger:          logger,
+		Retry:           policy,
+		StageTimeout:    *stageTimeout,
 	})
 	if err != nil {
 		return err
@@ -113,6 +119,12 @@ func run(args []string) error {
 	logger.Info("perflog tree ingested",
 		"entries", stats.Entries, "systems", stats.Systems,
 		"bytes", stats.BytesParsed, "root", *perflogRoot)
+	if *dataDir != "" {
+		logger.Info("segment store opened",
+			"data_dir", *dataDir, "sealed_segments", stats.SealedSegments,
+			"sealed_entries", stats.SealedEntries, "head_entries", stats.HeadEntries,
+			"manifest_generation", stats.ManifestGeneration, "degraded", srv.Degraded())
+	}
 	logger.Info("listening",
 		"addr", *addr, "workers", *workers, "queue", *queueDepth, "pprof", *enablePprof)
 

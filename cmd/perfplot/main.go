@@ -55,6 +55,7 @@ func usage() {
                    [--columns benchmark,stage_*]     project columns (trailing * = prefix)
                    [--system S] [--benchmark B]      filter through the indexed query path
                    [--since RFC3339] [--limit N]     time window / most recent N entries
+                   [--data-dir DIR]                  read benchd's sealed segment store
   perfplot bar     --perflog DIR --config FILE       render a configured bar chart
                    [--svg FILE]                      also write an SVG version
   perfplot csv     --perflog DIR --out FILE          export the frame as CSV
@@ -65,9 +66,19 @@ func usage() {
 
 // loadStore ingests the perflog tree through perfstore — the same
 // storage and query path the benchd daemon serves, so CLI and service
-// read identical data.
-func loadStore(root string) (*perfstore.Store, error) {
-	store := perfstore.Open(root)
+// read identical data. With a non-empty dataDir it opens the same
+// tiered segment store benchd maintains, recovering sealed entries
+// from segment headers and parsing only the perflog tail.
+func loadStore(root, dataDir string) (*perfstore.Store, error) {
+	var store *perfstore.Store
+	if dataDir != "" {
+		var err error
+		if store, err = perfstore.OpenTiered(root, dataDir); err != nil {
+			return nil, err
+		}
+	} else {
+		store = perfstore.Open(root)
+	}
 	if err := store.Sync(); err != nil {
 		return nil, err
 	}
@@ -80,6 +91,7 @@ func loadStore(root string) (*perfstore.Store, error) {
 func cmdTable(args []string) error {
 	fs := flag.NewFlagSet("table", flag.ContinueOnError)
 	root := fs.String("perflog", "perflogs", "perflog root")
+	dataDir := fs.String("data-dir", "", "benchd segment store directory (reads sealed segments instead of re-parsing)")
 	columns := fs.String("columns", "", "comma-separated columns to show; a trailing * matches a prefix")
 	system := fs.String("system", "", "only entries from this system")
 	benchmark := fs.String("benchmark", "", "only entries for this benchmark")
@@ -99,7 +111,7 @@ func cmdTable(args []string) error {
 		}
 		q.Since = t
 	}
-	store, err := loadStore(*root)
+	store, err := loadStore(*root, *dataDir)
 	if err != nil {
 		return err
 	}
@@ -191,6 +203,7 @@ func cmdCSV(args []string) error {
 func cmdRegress(args []string) error {
 	fs := flag.NewFlagSet("regress", flag.ContinueOnError)
 	root := fs.String("perflog", "perflogs", "perflog root")
+	dataDir := fs.String("data-dir", "", "benchd segment store directory (reads sealed segments instead of re-parsing)")
 	fomCol := fs.String("fom", "", "FOM column to check")
 	group := fs.String("group", "system,benchmark", "comma-separated grouping columns")
 	tolerance := fs.Float64("tolerance", 0.10, "fractional drop that counts as a regression")
@@ -201,7 +214,7 @@ func cmdRegress(args []string) error {
 	if *fomCol == "" {
 		return fmt.Errorf("--fom is required")
 	}
-	store, err := loadStore(*root)
+	store, err := loadStore(*root, *dataDir)
 	if err != nil {
 		return err
 	}

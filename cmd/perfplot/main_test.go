@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/fom"
 	"repro/internal/perflog"
+	"repro/internal/perfstore"
 )
 
 func capture(t *testing.T, f func() error) (string, error) {
@@ -280,4 +281,50 @@ func TestRegressGolden(t *testing.T) {
 		t.Error("seeded regression not flagged")
 	}
 	checkGolden(t, "regress.golden", out)
+}
+
+// TestTableUnchangedAgainstSegmentStore: the table rendered from
+// benchd's sealed segment store must be byte-identical to the one
+// rendered by a full text-tree parse — tiering is invisible to the
+// analysis layer. The golden check pins it to the same bytes as the
+// untiered path.
+func TestTableUnchangedAgainstSegmentStore(t *testing.T) {
+	root := seedPerflogs(t)
+	plain, err := capture(t, func() error { return run([]string{"table", "--perflog", root}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build and seal the segment store the way benchd would.
+	dataDir := t.TempDir()
+	s, err := perfstore.OpenTiered(root, dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	tiered, err := capture(t, func() error {
+		return run([]string{"table", "--perflog", root, "--data-dir", dataDir})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != tiered {
+		t.Errorf("table drifted under the segment store:\n--- plain ---\n%s--- tiered ---\n%s", plain, tiered)
+	}
+	checkGolden(t, "table.golden", tiered)
+
+	// regress reads through the same loader; check it too.
+	plainR, _ := capture(t, func() error {
+		return run([]string{"regress", "--perflog", root, "--fom", "l0", "--group", "system"})
+	})
+	tieredR, _ := capture(t, func() error {
+		return run([]string{"regress", "--perflog", root, "--fom", "l0", "--group", "system", "--data-dir", dataDir})
+	})
+	if plainR != tieredR {
+		t.Errorf("regress drifted under the segment store:\n--- plain ---\n%s--- tiered ---\n%s", plainR, tieredR)
+	}
 }

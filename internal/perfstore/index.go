@@ -70,12 +70,23 @@ type shard struct {
 	entries []stored // arena; append-only, dead slots tombstoned
 	deadN   int
 	live    int
-	byTime  []int32          // live arena indices, sorted by (Time, seq)
+	byTime  []int32            // live arena indices, sorted by (Time, seq)
 	post    map[string][]int32 // posting lists, ascending arena indices
-	systems map[string]int   // live entries per system (Systems/Stats)
+	systems map[string]int     // live entries per system (Systems/Stats)
 }
 
 func (sh *shard) init() {
+	sh.post = map[string][]int32{}
+	sh.systems = map[string]int{}
+}
+
+// reset empties the shard — the head clear after a Seal froze its
+// entries into a segment. Callers hold sh.mu.
+func (sh *shard) reset() {
+	sh.entries = nil
+	sh.deadN = 0
+	sh.live = 0
+	sh.byTime = nil
 	sh.post = map[string][]int32{}
 	sh.systems = map[string]int{}
 }
@@ -274,18 +285,25 @@ func (sh *shard) collect(m *matcher, limit int) []hit {
 	return hits
 }
 
-// intersectLocked plans and runs the posting-list intersection for the
-// query's indexed predicates: the rarest list drives, the others are
-// probed with an advancing galloping search — the probe starts where
-// the previous one left off, doubles its step until it overshoots, then
-// binary-searches the bracketed window. Dense probed lists cost ~O(1)
-// per probe, sparse ones O(log gap); either way no per-element closure
-// calls. ok is false when some predicate value has no posting list at
-// all — zero matches, no work.
+// intersectLocked runs the posting-list intersection under the shard's
+// read lock. Callers hold sh.mu.
 func (sh *shard) intersectLocked(keys []string) ([]int32, bool) {
+	return intersectPostings(sh.post, keys)
+}
+
+// intersectPostings plans and runs the posting-list intersection for the
+// query's indexed predicates — shared by the head shards and the sealed
+// segments, which maintain the same posting-list key scheme: the rarest
+// list drives, the others are probed with an advancing galloping search
+// — the probe starts where the previous one left off, doubles its step
+// until it overshoots, then binary-searches the bracketed window. Dense
+// probed lists cost ~O(1) per probe, sparse ones O(log gap); either way
+// no per-element closure calls. ok is false when some predicate value
+// has no posting list at all — zero matches, no work.
+func intersectPostings(post map[string][]int32, keys []string) ([]int32, bool) {
 	lists := make([][]int32, 0, len(keys))
 	for _, k := range keys {
-		l, ok := sh.post[k]
+		l, ok := post[k]
 		if !ok {
 			return nil, false
 		}
@@ -368,16 +386,19 @@ func (sh *shard) aggregate(m *matcher, keyer *groupKeyer, fomName string) map[st
 	return partials
 }
 
-// fanShards runs fn(i) for every shard on a bounded worker pool sized
-// by GOMAXPROCS — queries parallelize across shards without spawning
+// fanShards runs fn(i) for every shard on a bounded worker pool.
+func (s *Store) fanShards(fn func(i int)) { fanN(shardCount, fn) }
+
+// fanN runs fn(0..n-1) on a worker pool sized by GOMAXPROCS — queries
+// parallelize across head shards and sealed segments without spawning
 // more runnable goroutines than there are CPUs to run them.
-func (s *Store) fanShards(fn func(i int)) {
+func fanN(n int, fn func(i int)) {
 	workers := runtime.GOMAXPROCS(0)
-	if workers > shardCount {
-		workers = shardCount
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
-		for i := 0; i < shardCount; i++ {
+		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
@@ -390,7 +411,7 @@ func (s *Store) fanShards(fn func(i int)) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= shardCount {
+				if i >= n {
 					return
 				}
 				fn(i)

@@ -382,9 +382,16 @@ func (s *Store) Aggregate(q Query) ([]Aggregate, error) {
 		return aggregateEntries(s.Select(q), groupBy, q.FOM), nil
 	}
 	m := q.compile()
-	parts := make([]map[string]*partialAgg, shardCount)
-	s.fanShards(func(i int) {
-		parts[i] = s.shards[i].aggregate(m, newGroupKeyer(groupBy), q.FOM)
+	s.seg.RLock()
+	defer s.seg.RUnlock()
+	segs := s.seg.list
+	parts := make([]map[string]*partialAgg, shardCount+len(segs))
+	fanN(len(parts), func(i int) {
+		if i < shardCount {
+			parts[i] = s.shards[i].aggregate(m, newGroupKeyer(groupBy), q.FOM)
+		} else {
+			parts[i] = segs[i-shardCount].aggregate(s, m, newGroupKeyer(groupBy), q.FOM)
+		}
 	})
 	merged := map[string]*partialAgg{}
 	for _, part := range parts {

@@ -72,25 +72,37 @@ type checkpoint struct {
 	offset int64 // bytes consumed through the last complete line
 }
 
-// Stats counts ingest work; the checkpoint tests assert a no-op re-sync
-// parses zero bytes.
+// Stats counts ingest work and reports the storage-tier shape; the
+// checkpoint tests assert a no-op re-sync parses zero bytes, the boot
+// tests assert a sealed store restarts with BytesParsed == 0.
 type Stats struct {
 	FilesScanned int
 	BytesParsed  int64
 	EntriesAdded int
 	Entries      int
 	Systems      int
+	// Tier breakdown: Entries == HeadEntries + SealedEntries.
+	HeadEntries         int
+	SealedEntries       int
+	SealedSegments      int
+	ManifestGeneration  uint64
+	SegmentLoadFailures int
 }
 
-// Store is the concurrent perflog store.
+// Store is the concurrent perflog store: a mutable head (the sharded
+// in-memory index, fed by checkpointed ingest) plus, when opened with
+// OpenTiered, a sealed tier of immutable on-disk segments. Queries fan
+// out over both tiers and merge in (time, ingest-seq) order.
 type Store struct {
-	root   string
-	shards [shardCount]shard
+	root    string
+	dataDir string // "" = memory-only store (no sealed tier)
+	shards  [shardCount]shard
 
 	// seq hands out the store-wide ingest sequence that breaks
-	// timestamp ties; gen counts index mutations (adds and evictions)
-	// so readers can stamp derived results and detect staleness with
-	// one atomic load (the service layer's aggregate cache).
+	// timestamp ties; gen counts index mutations (adds, evictions,
+	// seals, compactions) so readers can stamp derived results and
+	// detect staleness with one atomic load (the service layer's
+	// aggregate cache).
 	seq atomic.Uint64
 	gen atomic.Uint64
 
@@ -102,16 +114,92 @@ type Store struct {
 		bytesParsed  int64
 		entriesAdded int
 	}
+
+	// seg is the sealed tier: the live segment handles and the manifest
+	// they mirror. Queries hold the read lock across their whole fan so
+	// a concurrent Seal (which appends a segment and clears the head
+	// under the write lock) is atomic to them — an entry is observed in
+	// exactly one tier. Lock order: ckMu → seg → shard.
+	seg struct {
+		sync.RWMutex
+		list []*segment
+		man  *manifest
+	}
+	loadFail struct {
+		sync.Mutex
+		n    int
+		last string
+	}
 }
 
-// Open returns a store over a perflog root directory. No ingest happens
-// until Sync (or Append) is called; the directory need not exist yet.
+// Open returns a memory-only store over a perflog root directory. No
+// ingest happens until Sync (or Append) is called; the directory need
+// not exist yet.
 func Open(root string) *Store {
 	s := &Store{root: root, ck: map[string]*checkpoint{}}
 	for i := range s.shards {
 		s.shards[i].init()
 	}
+	s.seg.man = &manifest{Version: manifestVersion, Watermarks: map[string]int64{}}
 	return s
+}
+
+// OpenTiered returns a store whose sealed tier lives in dataDir: the
+// manifest is read, every named segment's header is validated (zone
+// maps become queryable; data blocks stay on disk until a query needs
+// them), ingest checkpoints are restored from the sealed watermarks,
+// and orphans from crashed seals are swept. Boot cost is O(segment
+// headers); the subsequent Sync re-parses only perflog bytes past the
+// watermarks. Any validation failure is returned — the caller's
+// fallback is Open plus a full Sync, rebuilding everything from the
+// text tree (which remains the source of truth).
+func OpenTiered(root, dataDir string) (*Store, error) {
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("perfstore: %w", err)
+	}
+	man, err := loadManifest(dataDir)
+	if err != nil {
+		return nil, err
+	}
+	s := Open(root)
+	s.dataDir = dataDir
+	segs := make([]*segment, 0, len(man.Segments))
+	for _, info := range man.Segments {
+		hdr, err := readSegmentHeader(filepath.Join(dataDir, info.File))
+		if err != nil {
+			return nil, fmt.Errorf("perfstore: segment %s: %w", info.File, err)
+		}
+		if hdr.Count != info.Count || hdr.MinSeq != info.MinSeq || hdr.MaxSeq != info.MaxSeq {
+			return nil, fmt.Errorf("perfstore: segment %s disagrees with manifest", info.File)
+		}
+		segs = append(segs, &segment{dir: dataDir, info: info})
+	}
+	s.seg.man = man
+	s.seg.list = segs
+	// Restart the ingest sequence past everything sealed, so (time,
+	// seq) ordering stays total across the tiers after a reboot.
+	s.seq.Store(man.MaxSeq)
+	for rel, off := range man.Watermarks {
+		s.ck[s.absSource(rel)] = &checkpoint{offset: off}
+	}
+	cleanOrphans(dataDir, man)
+	return s, nil
+}
+
+// DataDir returns the sealed tier's directory ("" for a memory-only
+// store).
+func (s *Store) DataDir() string { return s.dataDir }
+
+// noteLoadFailure records a segment whose data block could not be
+// loaded after retries: the query proceeds without it, and the
+// degradation is visible in Stats, /healthz, and /metrics rather than
+// silent.
+func (s *Store) noteLoadFailure(err error) {
+	metricSegLoadFailures.Inc()
+	s.loadFail.Lock()
+	s.loadFail.n++
+	s.loadFail.last = err.Error()
+	s.loadFail.Unlock()
 }
 
 // Generation returns the index mutation counter. Any result computed
@@ -190,7 +278,9 @@ func (s *Store) SyncFile(path string) error {
 	defer s.ckMu.Unlock()
 
 	if st.Size() < ck.offset {
-		s.evictFile(path)
+		if err := s.evictFile(path); err != nil {
+			return err
+		}
 		ck.offset = 0
 	}
 	if st.Size() == ck.offset {
@@ -251,8 +341,10 @@ func (s *Store) add(e *perflog.Entry, file string) {
 }
 
 // evictFile removes every entry ingested from one file (truncation
-// recovery) and repairs the shard indexes. Callers hold ckMu.
-func (s *Store) evictFile(path string) {
+// recovery) from both tiers: the shard indexes are repaired in place,
+// and any sealed segments holding the file's entries are rewritten
+// without them. Callers hold ckMu.
+func (s *Store) evictFile(path string) error {
 	removed := 0
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -260,9 +352,14 @@ func (s *Store) evictFile(path string) {
 		removed += sh.evictLocked(path)
 		sh.mu.Unlock()
 	}
-	if removed > 0 {
+	sealed, err := s.evictSealed(path)
+	if err != nil {
+		return err
+	}
+	if removed+sealed > 0 {
 		s.gen.Add(1)
 	}
+	return nil
 }
 
 func (s *Store) bumpStats(files int, bytes int64, added int) {
@@ -276,7 +373,8 @@ func (s *Store) bumpStats(files int, bytes int64, added int) {
 	metricIngestEntries.Add(float64(added))
 }
 
-// Stats reports cumulative ingest counters and current index size.
+// Stats reports cumulative ingest counters, current index size, and
+// the storage-tier breakdown.
 func (s *Store) Stats() Stats {
 	s.stats.Lock()
 	out := Stats{
@@ -285,29 +383,70 @@ func (s *Store) Stats() Stats {
 		EntriesAdded: s.stats.entriesAdded,
 	}
 	s.stats.Unlock()
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		out.Systems += len(sh.systems)
-		out.Entries += sh.live
-		sh.mu.RUnlock()
-	}
-	return out
-}
-
-// Len returns the number of indexed entries.
-func (s *Store) Len() int { return s.Stats().Entries }
-
-// Systems lists the indexed system names, sorted.
-func (s *Store) Systems() []string {
-	var out []string
+	systems := map[string]bool{}
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
 		for sys := range sh.systems {
-			out = append(out, sys)
+			systems[sys] = true
+		}
+		out.HeadEntries += sh.live
+		sh.mu.RUnlock()
+	}
+	s.seg.RLock()
+	for _, g := range s.seg.list {
+		out.SealedEntries += g.info.Count
+		for _, sys := range g.info.Systems {
+			systems[sys] = true
+		}
+	}
+	out.SealedSegments = len(s.seg.list)
+	out.ManifestGeneration = s.seg.man.Generation
+	s.seg.RUnlock()
+	out.Entries = out.HeadEntries + out.SealedEntries
+	out.Systems = len(systems)
+	s.loadFail.Lock()
+	out.SegmentLoadFailures = s.loadFail.n
+	s.loadFail.Unlock()
+	return out
+}
+
+// PublishMetrics pushes the point-in-time tier gauges (head entries,
+// sealed entries/segments, manifest generation) into the telemetry
+// registry — called on each /metrics scrape so the gauges are fresh
+// without a background sampler.
+func (s *Store) PublishMetrics() {
+	st := s.Stats()
+	metricHeadEntries.Set(float64(st.HeadEntries))
+	metricSealedEntries.Set(float64(st.SealedEntries))
+	metricSealedSegments.Set(float64(st.SealedSegments))
+	metricManifestGen.Set(float64(st.ManifestGeneration))
+}
+
+// Len returns the number of indexed entries across both tiers.
+func (s *Store) Len() int { return s.Stats().Entries }
+
+// Systems lists the indexed system names across both tiers, sorted.
+func (s *Store) Systems() []string {
+	seen := map[string]bool{}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for sys := range sh.systems {
+			seen[sys] = true
 		}
 		sh.mu.RUnlock()
+	}
+	s.seg.RLock()
+	for _, g := range s.seg.list {
+		for _, sys := range g.info.Systems {
+			seen[sys] = true
+		}
+	}
+	s.seg.RUnlock()
+	out := make([]string, 0, len(seen))
+	for sys := range seen {
+		out = append(out, sys)
 	}
 	sort.Strings(out)
 	return out
@@ -318,18 +457,33 @@ func (s *Store) Systems() []string {
 // Limit entries — the tail of the time series.
 //
 // The plan: every equality predicate (system, benchmark, result, FOM
-// presence, extras) is indexed, so each shard intersects the matching
-// posting lists — cost proportional to the rarest predicate, not the
-// store. A query with no equality predicate reads the shard's
-// time-ordered view, where Since binary-searches its lower bound and
-// Limit takes a bounded tail. Shards are evaluated in parallel on a
-// bounded worker pool and merged in (time, ingest) order; with a Limit
-// the merge walks the per-shard tails backwards and stops after Limit
-// entries, so the full match set is never materialized.
+// presence, extras) is indexed in both tiers, so each head shard and
+// each sealed segment intersects the matching posting lists — cost
+// proportional to the rarest predicate, not the store. A query with no
+// equality predicate reads the time-ordered view (shards) or the
+// time-sorted arena (segments), where Since binary-searches its lower
+// bound and Limit takes a bounded tail; segments whose zone map ends
+// before Since are skipped without touching disk. All legs run in
+// parallel on a bounded worker pool and merge in (time, ingest) order;
+// with a Limit the merge walks the per-leg tails backwards and stops
+// after Limit entries, so the full match set is never materialized.
+//
+// The segment read lock is held across the whole fan, so a concurrent
+// Seal (segment published + head cleared under the write lock) is
+// atomic to the query — every entry is observed in exactly one tier.
 func (s *Store) Select(q Query) []*perflog.Entry {
 	m := q.compile()
-	parts := make([][]hit, shardCount)
-	s.fanShards(func(i int) { parts[i] = s.shards[i].collect(m, q.Limit) })
+	s.seg.RLock()
+	defer s.seg.RUnlock()
+	segs := s.seg.list
+	parts := make([][]hit, shardCount+len(segs))
+	fanN(len(parts), func(i int) {
+		if i < shardCount {
+			parts[i] = s.shards[i].collect(m, q.Limit)
+		} else {
+			parts[i] = segs[i-shardCount].collect(s, m, q.Limit)
+		}
+	})
 	if len(m.keys) > 0 {
 		metricSelects.With("postings").Inc()
 	} else {
@@ -339,23 +493,37 @@ func (s *Store) Select(q Query) []*perflog.Entry {
 }
 
 // selectScan is the reference implementation Select is measured and
-// property-tested against: a full linear scan with per-entry predicate
-// checks and a post-hoc sort — the pre-index query path. It must return
-// results identical to Select for every query.
+// property-tested against: a full linear scan of both tiers with
+// per-entry predicate checks and a post-hoc sort — the pre-index query
+// path. It must return results identical to Select for every query.
 func (s *Store) selectScan(q Query) []*perflog.Entry {
 	m := q.compile()
 	var hits []hit
+	scan := func(st *stored) {
+		if !st.dead && !(m.hasSince && st.t < m.sinceNano) && m.matchEntry(st.entry) {
+			hits = append(hits, hit{st.entry, st.t, st.seq})
+		}
+	}
+	s.seg.RLock()
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
 		for j := range sh.entries {
-			st := &sh.entries[j]
-			if !st.dead && !(m.hasSince && st.t < m.sinceNano) && m.matchEntry(st.entry) {
-				hits = append(hits, hit{st.entry, st.t, st.seq})
-			}
+			scan(&sh.entries[j])
 		}
 		sh.mu.RUnlock()
 	}
+	for _, g := range s.seg.list {
+		d, err := g.load()
+		if err != nil {
+			s.noteLoadFailure(err)
+			continue
+		}
+		for j := range d.entries {
+			scan(&d.entries[j])
+		}
+	}
+	s.seg.RUnlock()
 	slices.SortFunc(hits, cmpHits)
 	if q.Limit > 0 && len(hits) > q.Limit {
 		hits = hits[len(hits)-q.Limit:]

@@ -45,7 +45,16 @@ const chaosSchedule = "scheduler.submit:error:rate=0.25," +
 	"perfstore.read:short:bytes=64:every=7," +
 	"service.submit:error:rate=0.15:times=8"
 
-func TestChaosSoak(t *testing.T) {
+func TestChaosSoak(t *testing.T) { chaosSoak(t, "") }
+
+// TestChaosSoakTiered runs the identical soak against a segment-backed
+// store with an aggressive maintenance loop (tiny seal threshold, fast
+// ticker, eager compaction) plus injected segment-write failures, so
+// seals, compactions, and their retries all happen while the original
+// fault schedule is firing.
+func TestChaosSoakTiered(t *testing.T) { chaosSoak(t, t.TempDir()) }
+
+func chaosSoak(t *testing.T, dataDir string) {
 	seed := int64(42)
 	if v := os.Getenv("CHAOS_SEED"); v != "" {
 		n, err := strconv.ParseInt(v, 10, 64)
@@ -61,6 +70,13 @@ func TestChaosSoak(t *testing.T) {
 		InstallTree: dir + "/install",
 		Workers:     4,
 		QueueDepth:  32,
+		DataDir:     dataDir,
+		// Aggressive tiering so the soak crosses many seal/compact
+		// cycles: seal every 4 head entries, compact at 2 segments,
+		// tick the maintenance loop every 10ms.
+		SealThreshold:       4,
+		CompactSegments:     2,
+		MaintenanceInterval: 10 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -86,7 +102,13 @@ func TestChaosSoak(t *testing.T) {
 		classBefore[pk[0]+"|"+pk[1]] = v
 	}
 
-	loadFaults(t, seed, chaosSchedule)
+	schedule := chaosSchedule
+	if dataDir != "" {
+		// The first two segment writes fail outright: the maintenance
+		// loop must absorb the failed seals and succeed on later ticks.
+		schedule += ",perfstore.segwrite:error:times=2"
+	}
+	loadFaults(t, seed, schedule)
 
 	// Concurrent submitters; each retries 503s after the server's own
 	// Retry-After hint, so injected submit faults and queue-full both
@@ -266,6 +288,33 @@ func TestChaosSoak(t *testing.T) {
 		v, _ := reg.Value("faultinject_fired_total", pk[0], pk[1])
 		if v-classBefore[pk[0]+"|"+pk[1]] <= 0 {
 			t.Errorf("fault class %s:%s never fired during the soak", pk[0], pk[1])
+		}
+	}
+
+	// Tiered-only invariants: seal the warm store's remaining head (the
+	// post-soak sync may have ingested tails the shutdown-time seal
+	// predates), then a cold tiered boot must recover the whole store
+	// from segment headers without re-parsing a single perflog byte.
+	if dataDir != "" {
+		if _, err := srv.Store().Seal(); err != nil {
+			t.Fatalf("post-soak seal: %v", err)
+		}
+		cold, err := perfstore.OpenTiered(perflogRoot, dataDir)
+		if err != nil {
+			t.Fatalf("cold tiered open after soak: %v", err)
+		}
+		if err := cold.Sync(); err != nil {
+			t.Fatalf("cold tiered sync: %v", err)
+		}
+		st := cold.Stats()
+		if st.BytesParsed != 0 {
+			t.Errorf("cold tiered boot re-parsed %d perflog bytes, want 0", st.BytesParsed)
+		}
+		if cold.Len() != srv.Store().Len() {
+			t.Errorf("cold tiered store has %d entries, warm store has %d", cold.Len(), srv.Store().Len())
+		}
+		if v, _ := reg.Value("faultinject_fired_total", "perfstore.segwrite", "error"); v <= 0 {
+			t.Error("injected segment-write faults never fired during the tiered soak")
 		}
 	}
 }

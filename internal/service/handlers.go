@@ -230,7 +230,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	run, err := s.Submit(req.Benchmark, req.System, req.Spec, req.NumTasks, req.TasksPerNode, req.CPUsPerTask)
 	switch {
-	case errors.Is(err, errQueueFull), errors.Is(err, errShuttingDown):
+	case errors.Is(err, errQueueFull), errors.Is(err, errShuttingDown), errors.Is(err, errDegraded):
 		writeUnavailable(w, err)
 		return
 	case retry.IsTransient(err):
@@ -395,6 +395,7 @@ func (s *Server) handleRegressions(w http.ResponseWriter, r *http.Request) {
 // own HTTP/queue families — shows up here.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	metricGoroutines.Set(float64(runtime.NumGoroutine()))
+	s.store.PublishMetrics()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	telemetry.DefaultRegistry.WritePrometheus(w)
 }
@@ -456,8 +457,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	queued := len(s.queue)
 	runs := len(s.runs)
 	s.mu.Unlock()
+	status := "ok"
+	mode := "memory"
+	switch {
+	case s.degraded:
+		status = "degraded"
+		mode = "degraded-readonly"
+	case s.store.DataDir() != "":
+		mode = "tiered"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":       "ok",
+		"status":       status,
 		"uptime_s":     int(time.Since(s.started).Seconds()),
 		"entries":      stats.Entries,
 		"systems":      stats.Systems,
@@ -467,5 +477,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"query_cache":  s.cache.len(),
 		"workers":      s.cfg.Workers,
 		"perflog_root": s.store.Root(),
+		"storage": map[string]any{
+			"mode":                  mode,
+			"data_dir":              s.store.DataDir(),
+			"head_entries":          stats.HeadEntries,
+			"sealed_entries":        stats.SealedEntries,
+			"sealed_segments":       stats.SealedSegments,
+			"manifest_generation":   stats.ManifestGeneration,
+			"segment_load_failures": stats.SegmentLoadFailures,
+		},
 	})
 }

@@ -44,6 +44,20 @@ var (
 type Config struct {
 	// PerflogRoot is the perflog tree served and appended to.
 	PerflogRoot string
+	// DataDir, when set, enables the tiered store: sealed segments and
+	// the manifest live here, and boot recovers from them in O(segment
+	// headers) instead of re-parsing the perflog tree. Empty keeps the
+	// memory-only store.
+	DataDir string
+	// SealThreshold is the head size (live entries) at which the
+	// maintenance loop seals the head into a segment (default 4096).
+	SealThreshold int
+	// CompactSegments is the segment count at which the maintenance
+	// loop merges the sealed tier into one segment (default 8).
+	CompactSegments int
+	// MaintenanceInterval paces the seal/compact maintenance loop
+	// (default 30s).
+	MaintenanceInterval time.Duration
 	// InstallTree is the build cache for executed runs.
 	InstallTree string
 	// Workers bounds concurrent benchmark executions (default 2).
@@ -89,6 +103,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueryCacheSize <= 0 {
 		c.QueryCacheSize = 256
+	}
+	if c.SealThreshold <= 0 {
+		c.SealThreshold = 4096
+	}
+	if c.CompactSegments <= 0 {
+		c.CompactSegments = 8
+	}
+	if c.MaintenanceInterval <= 0 {
+		c.MaintenanceInterval = 30 * time.Second
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
@@ -141,6 +164,13 @@ type Server struct {
 
 	queue chan *Run
 
+	// degraded marks a tiered boot whose manifest could not be read
+	// even with retries: the store was rebuilt from the perflog text
+	// tree (the source of truth) and serves queries, but submissions
+	// are refused so the daemon never writes state it could not fully
+	// recover.
+	degraded bool
+
 	mu      sync.Mutex
 	runs    map[string]*Run
 	order   []string // submission order, for listing
@@ -148,15 +178,42 @@ type Server struct {
 	closed  bool
 	started time.Time
 
-	wg   sync.WaitGroup
-	http *http.Server
+	wg        sync.WaitGroup
+	maintWG   sync.WaitGroup
+	maintStop chan struct{}
+	http      *http.Server
 }
 
 // New assembles a server and ingests whatever the perflog tree already
-// holds, so the daemon starts warm.
+// holds, so the daemon starts warm. With Config.DataDir set the store
+// boots tiered: the segment manifest is recovered (with retries around
+// transient read faults) and only the perflog tail past the sealed
+// watermarks is parsed. If the manifest stays unreadable the daemon
+// still comes up — degraded and read-only — by rebuilding everything
+// from the perflog tree, which remains the source of truth.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	store := perfstore.Open(cfg.PerflogRoot)
+	var store *perfstore.Store
+	degraded := false
+	if cfg.DataDir != "" {
+		policy := retry.Default()
+		if cfg.Retry != nil {
+			policy = *cfg.Retry
+		}
+		err := policy.Do(context.Background(), "benchd.manifest", func(context.Context, int) error {
+			var oerr error
+			store, oerr = perfstore.OpenTiered(cfg.PerflogRoot, cfg.DataDir)
+			return oerr
+		})
+		if err != nil {
+			cfg.Logger.Error("tiered store unavailable, rebuilding from perflog tree (degraded read-only)",
+				"error", err.Error(), "data_dir", cfg.DataDir)
+			store = perfstore.Open(cfg.PerflogRoot)
+			degraded = true
+		}
+	} else {
+		store = perfstore.Open(cfg.PerflogRoot)
+	}
 	if err := store.Sync(); err != nil {
 		return nil, fmt.Errorf("service: initial ingest: %w", err)
 	}
@@ -171,20 +228,57 @@ func New(cfg Config) (*Server, error) {
 	// runs: workers append through it so index and files stay in
 	// lockstep (Runner-side logging stays off).
 	s := &Server{
-		cfg:     cfg,
-		store:   store,
-		runner:  runner,
-		tracer:  telemetry.NewTracer(cfg.TraceBuffer),
-		cache:   newQueryCache(cfg.QueryCacheSize),
-		queue:   make(chan *Run, cfg.QueueDepth),
-		runs:    map[string]*Run{},
-		started: time.Now(),
+		cfg:       cfg,
+		store:     store,
+		runner:    runner,
+		tracer:    telemetry.NewTracer(cfg.TraceBuffer),
+		cache:     newQueryCache(cfg.QueryCacheSize),
+		queue:     make(chan *Run, cfg.QueueDepth),
+		runs:      map[string]*Run{},
+		started:   time.Now(),
+		degraded:  degraded,
+		maintStop: make(chan struct{}),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if cfg.DataDir != "" && !degraded {
+		s.maintWG.Add(1)
+		go s.maintain()
+	}
 	return s, nil
+}
+
+// Degraded reports whether the daemon booted read-only because its
+// segment manifest was unreadable.
+func (s *Server) Degraded() bool { return s.degraded }
+
+// maintain is the storage maintenance loop: it periodically seals a
+// grown head into a segment and compacts accumulated small segments,
+// keeping boot O(headers) and query fan-out bounded without blocking
+// the ingest or query paths for longer than one manifest swap.
+func (s *Server) maintain() {
+	defer s.maintWG.Done()
+	t := time.NewTicker(s.cfg.MaintenanceInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.maintStop:
+			return
+		case <-t.C:
+			if n, err := s.store.MaybeSeal(s.cfg.SealThreshold); err != nil {
+				s.cfg.Logger.Error("seal failed", "error", err.Error())
+			} else if n > 0 {
+				s.cfg.Logger.Info("head sealed", "entries", n)
+			}
+			if ran, err := s.store.Compact(s.cfg.CompactSegments); err != nil {
+				s.cfg.Logger.Error("compaction failed", "error", err.Error())
+			} else if ran {
+				s.cfg.Logger.Info("segments compacted")
+			}
+		}
+	}
 }
 
 // Store exposes the underlying perfstore (the CLI-equivalent query
@@ -201,6 +295,9 @@ func (s *Server) Runner() *core.Runner { return s.runner }
 func (s *Server) Submit(benchmark, system, specText string, numTasks, tasksPerNode, cpusPerTask int) (*Run, error) {
 	if benchmark == "" || system == "" {
 		return nil, fmt.Errorf("benchmark and system are required")
+	}
+	if s.degraded {
+		return nil, errDegraded
 	}
 	// Layout overrides are "0 = use the benchmark default"; negative
 	// values would otherwise flow unchecked into the runner and job
@@ -264,6 +361,7 @@ func (s *Server) Submit(benchmark, system, specText string, numTasks, tasksPerNo
 var (
 	errQueueFull    = fmt.Errorf("run queue is full")
 	errShuttingDown = fmt.Errorf("server is shutting down")
+	errDegraded     = fmt.Errorf("storage is degraded (segment manifest unreadable); daemon is read-only")
 )
 
 // Get returns a run by id.
@@ -372,12 +470,15 @@ func (s *Server) Start(addr string) error {
 
 // Shutdown stops accepting work, waits for in-flight HTTP requests
 // (bounded by ctx) and for queued runs to drain, then returns. Pending
-// runs still execute: submitted work is never silently dropped.
+// runs still execute: submitted work is never silently dropped. A
+// tiered store seals its remaining head on the way out, so the next
+// boot recovers entirely from segments and parses zero perflog bytes.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
 		close(s.queue)
+		close(s.maintStop)
 	}
 	s.mu.Unlock()
 	var herr error
@@ -387,12 +488,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		s.maintWG.Wait()
 		close(done)
 	}()
 	select {
 	case <-done:
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+	if s.cfg.DataDir != "" && !s.degraded {
+		if n, err := s.store.Seal(); err != nil {
+			// The perflog tree still holds everything unsealed; the next
+			// boot re-ingests the tail, so a failed final seal degrades
+			// boot time, not durability.
+			s.cfg.Logger.Error("final seal failed", "error", err.Error())
+		} else if n > 0 {
+			s.cfg.Logger.Info("head sealed on shutdown", "entries", n)
+		}
 	}
 	return herr
 }

@@ -1,0 +1,239 @@
+package service
+
+// Service-level tests for the tiered storage engine: healthz storage
+// detail, seal-on-shutdown → zero-reparse boot, and the degraded
+// read-only mode entered when the segment manifest is unreadable.
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fom"
+	"repro/internal/perflog"
+)
+
+// seedTieredTree writes a few perflog entries under root.
+func seedTieredTree(t *testing.T, root string) int {
+	t.Helper()
+	base := time.Date(2023, 7, 7, 10, 0, 0, 0, time.UTC)
+	n := 0
+	for _, sys := range []string{"archer2", "csd3"} {
+		for i := 0; i < 3; i++ {
+			e := &perflog.Entry{
+				Time: base.Add(time.Duration(n) * time.Hour), Benchmark: "hpgmg-fv",
+				System: sys, Partition: "compute", Environ: "gcc",
+				Spec: "hpgmg%gcc", JobID: n + 1, Result: "pass",
+				FOMs:  map[string]fom.Value{"l0": {Name: "l0", Value: float64(100 + n), Unit: "MDOF/s"}},
+				Extra: map[string]string{},
+			}
+			if err := perflog.Append(root, sys, "hpgmg-fv", e); err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+	}
+	return n
+}
+
+// healthView decodes the /healthz fields these tests assert on.
+type healthView struct {
+	Status  string `json:"status"`
+	Entries int    `json:"entries"`
+	Storage struct {
+		Mode                string `json:"mode"`
+		DataDir             string `json:"data_dir"`
+		HeadEntries         int    `json:"head_entries"`
+		SealedEntries       int    `json:"sealed_entries"`
+		SealedSegments      int    `json:"sealed_segments"`
+		ManifestGeneration  uint64 `json:"manifest_generation"`
+		SegmentLoadFailures int    `json:"segment_load_failures"`
+	} `json:"storage"`
+}
+
+func newTieredServer(t *testing.T, perflogRoot, dataDir string) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(Config{
+		PerflogRoot:    perflogRoot,
+		DataDir:        dataDir,
+		InstallTree:    t.TempDir(),
+		Workers:        1,
+		QueueDepth:     4,
+		RequestTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return srv, ts
+}
+
+// TestTieredHealthzStorageDetail: /healthz reports the storage tier
+// honestly on both sides of a seal.
+func TestTieredHealthzStorageDetail(t *testing.T) {
+	perflogRoot := filepath.Join(t.TempDir(), "perflogs")
+	n := seedTieredTree(t, perflogRoot)
+	dataDir := t.TempDir()
+	srv, ts := newTieredServer(t, perflogRoot, dataDir)
+
+	var h healthView
+	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusOK {
+		t.Fatalf("healthz status = %d", code)
+	}
+	if h.Status != "ok" || h.Storage.Mode != "tiered" || h.Storage.DataDir != dataDir {
+		t.Fatalf("healthz = %+v", h)
+	}
+	if h.Storage.HeadEntries != n || h.Storage.SealedSegments != 0 {
+		t.Fatalf("pre-seal storage = %+v", h.Storage)
+	}
+
+	if _, err := srv.Store().Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusOK {
+		t.Fatalf("healthz status = %d", code)
+	}
+	if h.Storage.HeadEntries != 0 || h.Storage.SealedEntries != n ||
+		h.Storage.SealedSegments != 1 || h.Storage.ManifestGeneration == 0 {
+		t.Fatalf("post-seal storage = %+v", h.Storage)
+	}
+	if h.Entries != n {
+		t.Fatalf("entries = %d, want %d", h.Entries, n)
+	}
+
+	// The storage tier is visible in the Prometheus exposition too.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, metric := range []string{
+		"perfstore_segments_sealed_total",
+		"perfstore_seal_seconds",
+		"perfstore_sealed_segments 1",
+		"perfstore_head_entries 0",
+		"perfstore_ingest_bytes_total",
+	} {
+		if !strings.Contains(text, metric) {
+			t.Errorf("/metrics missing %q after seal", metric)
+		}
+	}
+}
+
+// TestTieredSealOnShutdownZeroReparse: a graceful shutdown seals the
+// head, so the next daemon boot against the same data dir re-parses
+// zero perflog bytes.
+func TestTieredSealOnShutdownZeroReparse(t *testing.T) {
+	perflogRoot := filepath.Join(t.TempDir(), "perflogs")
+	n := seedTieredTree(t, perflogRoot)
+	dataDir := t.TempDir()
+
+	srv1, err := New(Config{
+		PerflogRoot: perflogRoot,
+		DataDir:     dataDir,
+		InstallTree: t.TempDir(),
+		Workers:     1,
+		QueueDepth:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv1.Store().Stats().BytesParsed; got == 0 {
+		t.Fatal("first boot should have parsed the perflog tree")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, err := New(Config{
+		PerflogRoot: perflogRoot,
+		DataDir:     dataDir,
+		InstallTree: t.TempDir(),
+		Workers:     1,
+		QueueDepth:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Shutdown(context.Background())
+	st := srv2.Store().Stats()
+	if st.BytesParsed != 0 {
+		t.Fatalf("second boot parsed %d perflog bytes, want 0", st.BytesParsed)
+	}
+	if st.Entries != n || st.SealedEntries != n {
+		t.Fatalf("second boot stats = %+v", st)
+	}
+}
+
+// TestTieredDegradedReadOnly: an unreadable manifest must not take the
+// daemon down — it boots read-only from the text tree, reports
+// "degraded" on /healthz, and refuses submissions with a 503.
+func TestTieredDegradedReadOnly(t *testing.T) {
+	perflogRoot := filepath.Join(t.TempDir(), "perflogs")
+	n := seedTieredTree(t, perflogRoot)
+	dataDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dataDir, "MANIFEST"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, ts := newTieredServer(t, perflogRoot, dataDir)
+	if !srv.Degraded() {
+		t.Fatal("server with corrupt manifest is not degraded")
+	}
+
+	var h healthView
+	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusOK {
+		t.Fatalf("healthz status = %d", code)
+	}
+	if h.Status != "degraded" || h.Storage.Mode != "degraded-readonly" {
+		t.Fatalf("healthz = %+v", h)
+	}
+	// Reads still work: the store was rebuilt from the text tree.
+	if h.Entries != n {
+		t.Fatalf("degraded boot serves %d entries, want %d", h.Entries, n)
+	}
+	var q struct {
+		Count int `json:"count"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/query?benchmark=hpgmg-fv", &q); code != http.StatusOK {
+		t.Fatalf("query status = %d", code)
+	}
+	if q.Count != n {
+		t.Fatalf("degraded query count = %d, want %d", q.Count, n)
+	}
+
+	// Writes are refused with an honest 503.
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json",
+		strings.NewReader(`{"benchmark":"babelstream-omp","system":"archer2"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit on degraded server = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("degraded 503 without Retry-After")
+	}
+}

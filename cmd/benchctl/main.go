@@ -52,6 +52,8 @@ func run(args []string) error {
 		return cmdRun(args[1:], true)
 	case "survey":
 		return cmdSurvey(args[1:])
+	case "watch":
+		return cmdWatch(args[1:])
 	case "list":
 		return cmdList()
 	case "help", "-h", "--help":
@@ -68,6 +70,8 @@ func usage() {
   benchctl run    -b <benchmark> --system <sys[,sys...]> [flags]
   benchctl script -b <benchmark> --system <sys[:partition]> [flags]
   benchctl survey --system <sys[,sys...]>   BabelStream all-models survey (Figure 2)
+  benchctl watch  [--addr URL] [--types t1,t2] [--json] [--count N]
+                                            stream benchd events (SSE) live
   benchctl list
 
 flags for run/script:

@@ -15,6 +15,16 @@
 //	curl -s 'localhost:8080/v1/regressions?fom=triad_mbps&tolerance=0.1&window=5'
 //	curl -s localhost:8080/metrics
 //	curl -s localhost:8080/v1/traces/run-000001
+//
+// Continuous benchmarking: POST /v1/schedules re-runs a benchmark on
+// an interval and/or whenever its concretized build hash changes, and
+// GET /v1/watch streams lifecycle events (run.started, run.finished,
+// regression.detected, schedule.fired, store.sealed, server.shutdown)
+// as Server-Sent Events with Last-Event-ID replay:
+//
+//	curl -s -X POST localhost:8080/v1/schedules \
+//	    -d '{"benchmark":"babelstream-omp","system":"archer2","every":"10m"}'
+//	curl -sN 'localhost:8080/v1/watch?types=run.finished,regression.detected'
 package main
 
 import (
@@ -59,6 +69,12 @@ func run(args []string) error {
 	logJSON := fs.Bool("log-json", false, "emit logs as JSON instead of text")
 	verbose := fs.Bool("v", false, "debug-level logging")
 	stageTimeout := fs.Duration("stage-timeout", 0, "per-stage pipeline budget for executed runs (0 = no limit)")
+	tick := fs.Duration("tick", time.Second, "recurring-schedule tick interval")
+	eventBuffer := fs.Int("event-buffer", 256, "per-/v1/watch-subscriber event ring size")
+	replayBuffer := fs.Int("replay-buffer", 1024, "Last-Event-ID replay ring size")
+	heartbeat := fs.Duration("heartbeat", 15*time.Second, "/v1/watch keepalive interval")
+	regressTol := fs.Float64("regress-tolerance", 0.10, "fractional drop flagged after scheduled runs")
+	regressWindow := fs.Int("regress-window", 5, "sliding baseline window for post-run regression detection (<0 disables)")
 	retries := fs.Int("retries", 0, "max attempts per pipeline stage on transient failures (0 = default policy)")
 	faults := fs.String("faults", "", "fault-injection schedule, e.g. 'scheduler.submit:error:rate=0.1' (testing)")
 	faultSeed := fs.Int64("fault-seed", 1, "PRNG seed for --faults decisions")
@@ -111,6 +127,13 @@ func run(args []string) error {
 		Logger:          logger,
 		Retry:           policy,
 		StageTimeout:    *stageTimeout,
+
+		TickInterval:        *tick,
+		EventBuffer:         *eventBuffer,
+		ReplayBuffer:        *replayBuffer,
+		HeartbeatInterval:   *heartbeat,
+		RegressionTolerance: *regressTol,
+		RegressionWindow:    *regressWindow,
 	})
 	if err != nil {
 		return err

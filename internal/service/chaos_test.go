@@ -13,6 +13,7 @@ package service
 // reproduces by exporting the same CHAOS_SEED.
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -20,12 +21,14 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/eventbus"
 	"repro/internal/faultinject"
 	"repro/internal/perflog"
 	"repro/internal/perfstore"
@@ -43,7 +46,15 @@ import (
 const chaosSchedule = "scheduler.submit:error:rate=0.25," +
 	"buildsys.install:error:rate=0.2," +
 	"perfstore.read:short:bytes=64:every=7," +
-	"service.submit:error:rate=0.15:times=8"
+	"service.submit:error:rate=0.15:times=8," +
+	// Continuous-benchmarking paths: skipped scheduler ticks (schedules
+	// fire late, never twice), failed event publishes (bounded so the
+	// loss accounting below stays tight; each is retried by the
+	// service's publish policy), and broken /v1/watch stream writes
+	// (clients reconnect and replay via Last-Event-ID).
+	"cbsched.tick:error:rate=0.15," +
+	"eventbus.publish:error:rate=0.2:times=6," +
+	"service.watchwrite:error:rate=0.03"
 
 func TestChaosSoak(t *testing.T) { chaosSoak(t, "") }
 
@@ -77,6 +88,12 @@ func chaosSoak(t *testing.T, dataDir string) {
 		SealThreshold:       4,
 		CompactSegments:     2,
 		MaintenanceInterval: 10 * time.Millisecond,
+		// Fast scheduler ticks and small subscriber rings so the
+		// recurring schedule fires many times and the flapping watcher
+		// genuinely overflows its ring during the soak.
+		TickInterval:      25 * time.Millisecond,
+		EventBuffer:       16,
+		HeartbeatInterval: 100 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -88,6 +105,7 @@ func chaosSoak(t *testing.T, dataDir string) {
 	srv.Runner().Retry = retry.Policy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
+	client := ts.Client()
 
 	// Metric assertions are delta-based so the suite is stable under
 	// -count=2 (the registry is process-global).
@@ -97,6 +115,7 @@ func chaosSoak(t *testing.T, dataDir string) {
 	classBefore := map[string]float64{}
 	for _, pk := range [][2]string{
 		{"scheduler.submit", "error"}, {"buildsys.install", "error"}, {"perfstore.read", "short"},
+		{"cbsched.tick", "error"}, {"eventbus.publish", "error"},
 	} {
 		v, _ := reg.Value("faultinject_fired_total", pk[0], pk[1])
 		classBefore[pk[0]+"|"+pk[1]] = v
@@ -110,12 +129,98 @@ func chaosSoak(t *testing.T, dataDir string) {
 	}
 	loadFaults(t, seed, schedule)
 
+	exhaustedBefore, _ := reg.Value("retry_exhausted_total", "service.publish")
+
+	// A persistent healthy watcher: a reconnecting /v1/watch consumer
+	// that must end up having seen run.finished for every completed run
+	// (minus at most the publishes the bus provably lost to exhausted
+	// retries — counted, never silent). Stream kills from injected
+	// watchwrite faults are recovered via Last-Event-ID replay.
+	watchCtx, watchCancel := context.WithCancel(context.Background())
+	defer watchCancel()
+	var watchMu sync.Mutex
+	watchSeen := map[string]bool{}
+	var watchWG sync.WaitGroup
+	watchWG.Add(1)
+	go func() {
+		defer watchWG.Done()
+		var lastID uint64
+		for watchCtx.Err() == nil {
+			err := chaosWatchOnce(watchCtx, ts.URL, &lastID, func(runID string) {
+				watchMu.Lock()
+				watchSeen[runID] = true
+				watchMu.Unlock()
+			})
+			if err != nil && watchCtx.Err() == nil {
+				time.Sleep(10 * time.Millisecond) // reconnect with replay
+			}
+		}
+	}()
+	// Events published before the first subscription are live-only (no
+	// Last-Event-ID yet, so nothing is replayed): wait for the watcher
+	// to attach before generating load, as a real consumer would.
+	for start := time.Now(); srv.bus.Subscribers() == 0; {
+		if time.Since(start) > 30*time.Second {
+			t.Fatal("healthy watcher never subscribed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A flapping slow subscriber: connects, reads sluggishly, stalls,
+	// disconnects, repeats. Its ring (capacity 16) overflows and drops —
+	// which must never slow ingest or cost the healthy watcher a thing.
+	watchWG.Add(1)
+	go func() {
+		defer watchWG.Done()
+		for watchCtx.Err() == nil {
+			req, err := http.NewRequestWithContext(watchCtx, http.MethodGet, ts.URL+"/v1/watch", nil)
+			if err != nil {
+				return
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				time.Sleep(20 * time.Millisecond)
+				continue
+			}
+			buf := make([]byte, 256)
+			for i := 0; i < 3 && watchCtx.Err() == nil; i++ {
+				resp.Body.Read(buf) // a sip...
+				select {
+				case <-watchCtx.Done():
+				case <-time.After(150 * time.Millisecond): // ...then a stall
+				}
+			}
+			resp.Body.Close()
+		}
+	}()
+
+	// One recurring schedule runs the continuous loop during the soak:
+	// its firings share the worker pool and fault schedule with the
+	// client submissions.
+	var sched struct {
+		ID string `json:"id"`
+	}
+	{
+		resp, err := client.Post(ts.URL+"/v1/schedules", "application/json",
+			strings.NewReader(`{"benchmark":"babelstream-omp","system":"archer2","every":"300ms"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("schedule create: %d: %s", resp.StatusCode, data)
+		}
+		if err := json.Unmarshal(data, &sched); err != nil {
+			t.Fatal(err)
+		}
+	}
+
 	// Concurrent submitters; each retries 503s after the server's own
 	// Retry-After hint, so injected submit faults and queue-full both
 	// resolve to an accepted run or a test failure.
 	const clients, runsPerClient = 3, 8
 	systems := []string{"archer2", "csd3", "cosma8"}
-	client := ts.Client()
 	var mu sync.Mutex
 	var ids []string
 	var unavailable int
@@ -237,6 +342,112 @@ func chaosSoak(t *testing.T, dataDir string) {
 		t.Errorf("accepted %d runs, want %d", len(ids), clients*runsPerClient)
 	}
 
+	// A fast machine can drain the client load before the schedule's
+	// first interval elapses; hold the door until it has fired at least
+	// once so the scheduled path is exercised on every soak.
+	for {
+		var all struct {
+			Runs []runView `json:"runs"`
+		}
+		if code := getJSON(t, ts.URL+"/v1/runs", &all); code != http.StatusOK {
+			t.Fatalf("list runs: %d", code)
+		}
+		if len(all.Runs) > len(ids) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recurring schedule never fired")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Retire the recurring schedule (no new firings), then wait for
+	// EVERY run — client-submitted and scheduled alike — to go terminal.
+	{
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/schedules/"+sched.ID, nil)
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("schedule delete: %d", resp.StatusCode)
+		}
+	}
+	completedAll := map[string]bool{}
+	scheduled := 0
+	for {
+		var all struct {
+			Runs []runView `json:"runs"`
+		}
+		if code := getJSON(t, ts.URL+"/v1/runs", &all); code != http.StatusOK {
+			t.Fatalf("list runs: %d", code)
+		}
+		pending := 0
+		completedAll = map[string]bool{}
+		scheduled = 0
+		for _, v := range all.Runs {
+			switch v.Status {
+			case StatusCompleted:
+				completedAll[v.ID] = true
+			case StatusFailed:
+			default:
+				pending++
+			}
+		}
+		scheduled = len(all.Runs) - len(ids)
+		if pending == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d runs still pending at deadline", pending)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if scheduled <= 0 {
+		t.Errorf("the recurring schedule fired no runs during the soak")
+	}
+
+	// Healthy-watcher invariant: every completed run's run.finished was
+	// delivered — the only permissible misses are publishes the bus
+	// provably lost to exhausted retries (visible in metrics), never a
+	// silent drop caused by the flapping slow subscriber.
+	watchDeadline := time.Now().Add(60 * time.Second)
+	for {
+		exhausted, _ := reg.Value("retry_exhausted_total", "service.publish")
+		lost := exhausted - exhaustedBefore
+		watchMu.Lock()
+		missing := 0
+		for id := range completedAll {
+			if !watchSeen[id] {
+				missing++
+			}
+		}
+		seen := len(watchSeen)
+		watchMu.Unlock()
+		if float64(missing) <= lost {
+			t.Logf("watcher saw %d run.finished events; %d missing, %g publishes exhausted (scheduled runs: %d)",
+				seen, missing, lost, scheduled)
+			break
+		}
+		if time.Now().After(watchDeadline) {
+			watchMu.Lock()
+			var missIDs []string
+			for id := range completedAll {
+				if !watchSeen[id] {
+					missIDs = append(missIDs, id)
+				}
+			}
+			watchMu.Unlock()
+			sort.Strings(missIDs)
+			t.Fatalf("healthy watcher missing %d run.finished events (%v) but only %g publishes were lost to exhausted retries",
+				missing, missIDs, lost)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	watchCancel()
+	watchWG.Wait()
+
 	// Shutdown must drain cleanly while the schedule is still armed.
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
@@ -250,10 +461,10 @@ func chaosSoak(t *testing.T, dataDir string) {
 	if err != nil {
 		t.Fatalf("perflog tree corrupt after soak: %v", err)
 	}
-	// Invariant: exactly one line per completed run — nothing lost,
-	// nothing duplicated.
-	if len(entries) != completed {
-		t.Errorf("perflog holds %d entries, %d runs completed (lost or duplicated results)", len(entries), completed)
+	// Invariant: exactly one line per completed run — client-submitted
+	// and scheduled both — nothing lost, nothing duplicated.
+	if len(entries) != len(completedAll) {
+		t.Errorf("perflog holds %d entries, %d runs completed (lost or duplicated results)", len(entries), len(completedAll))
 	}
 
 	// Invariant: with faults cleared, both the server's store and a
@@ -284,11 +495,18 @@ func chaosSoak(t *testing.T, dataDir string) {
 	}
 	for _, pk := range [][2]string{
 		{"scheduler.submit", "error"}, {"buildsys.install", "error"}, {"perfstore.read", "short"},
+		{"cbsched.tick", "error"}, {"eventbus.publish", "error"},
 	} {
 		v, _ := reg.Value("faultinject_fired_total", pk[0], pk[1])
 		if v-classBefore[pk[0]+"|"+pk[1]] <= 0 {
 			t.Errorf("fault class %s:%s never fired during the soak", pk[0], pk[1])
 		}
+	}
+	// watchwrite fires probabilistically per stream write; with flapping
+	// and reconnecting consumers it is overwhelmingly likely but not
+	// guaranteed, so its count is reported rather than asserted.
+	if v, _ := reg.Value("faultinject_fired_total", "service.watchwrite", "error"); v > 0 {
+		t.Logf("service.watchwrite faults fired: %g", v)
 	}
 
 	// Tiered-only invariants: seal the warm store's remaining head (the
@@ -317,4 +535,55 @@ func chaosSoak(t *testing.T, dataDir string) {
 			t.Error("injected segment-write faults never fired during the tiered soak")
 		}
 	}
+}
+
+// chaosWatchOnce runs one /v1/watch connection for the healthy soak
+// watcher: subscribe to run.finished (resuming from *lastID), feed each
+// run id to seen, and return when the stream breaks — from an injected
+// watchwrite fault, a write deadline, or shutdown — so the caller can
+// reconnect and replay.
+func chaosWatchOnce(ctx context.Context, base string, lastID *uint64, seen func(runID string)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/watch?types=run.finished", nil)
+	if err != nil {
+		return err
+	}
+	// Always sent — an explicit 0 asks the server to replay everything
+	// it retains, so a stream killed before the first event is still
+	// recovered on reconnect.
+	req.Header.Set("Last-Event-ID", strconv.FormatUint(*lastID, 10))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("watch: %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data:"):
+			data = strings.TrimSpace(strings.TrimPrefix(line, "data:"))
+		case line == "" && data != "":
+			var ev eventbus.Event
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				return err
+			}
+			data = ""
+			if ev.ID > *lastID {
+				*lastID = ev.ID
+			}
+			if ev.Type == eventbus.TypeRunFinished {
+				seen(ev.Data["run_id"])
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("stream ended")
 }

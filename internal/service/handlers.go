@@ -47,6 +47,11 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Unwrap lets http.NewResponseController reach the server's writer
+// through the instrumentation, so the watch handler can flush and set
+// per-write deadlines on a wrapped stream.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // instrument wraps a handler with the HTTP metrics, labelled by route.
 func instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -75,21 +80,29 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /v1/regressions", "/v1/regressions", s.handleRegressions)
 	handle("GET /v1/traces", "/v1/traces", s.handleListTraces)
 	handle("GET /v1/traces/{id}", "/v1/traces/{id}", s.handleGetTrace)
+	handle("POST /v1/schedules", "/v1/schedules", s.handleCreateSchedule)
+	handle("GET /v1/schedules", "/v1/schedules", s.handleListSchedules)
+	handle("GET /v1/schedules/{id}", "/v1/schedules/{id}", s.handleGetSchedule)
+	handle("DELETE /v1/schedules/{id}", "/v1/schedules/{id}", s.handleDeleteSchedule)
 	handle("GET /healthz", "/healthz", s.handleHealth)
 	handle("GET /metrics", "/metrics", s.handleMetrics)
 	inner := http.Handler(http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request timed out"}`))
-	if !s.cfg.EnablePprof {
-		return inner
-	}
-	// pprof mounts outside the timeout handler: profile captures
-	// legitimately run longer than the API request budget
-	// (e.g. /debug/pprof/profile?seconds=30).
 	outer := http.NewServeMux()
-	outer.HandleFunc("/debug/pprof/", pprof.Index)
-	outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	// /v1/watch mounts outside the timeout handler: an SSE stream is
+	// long-lived by design, and TimeoutHandler would cut it at the API
+	// request budget. The handler enforces its own rolling per-write
+	// deadline instead.
+	outer.HandleFunc("GET /v1/watch", instrument("/v1/watch", s.handleWatch))
+	if s.cfg.EnablePprof {
+		// pprof also mounts outside the timeout handler: profile captures
+		// legitimately run longer than the API request budget
+		// (e.g. /debug/pprof/profile?seconds=30).
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	outer.Handle("/", inner)
 	return outer
 }
@@ -466,6 +479,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	case s.store.DataDir() != "":
 		mode = "tiered"
 	}
+	schedules, fires, suppressed := s.sched.Counters()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":       status,
 		"uptime_s":     int(time.Since(s.started).Seconds()),
@@ -477,6 +491,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"query_cache":  s.cache.len(),
 		"workers":      s.cfg.Workers,
 		"perflog_root": s.store.Root(),
+		"scheduler": map[string]any{
+			"running":            s.sched.Running(),
+			"schedules":          schedules,
+			"fires":              fires,
+			"overlap_suppressed": suppressed,
+			"bus_subscribers":    s.bus.Subscribers(),
+			"bus_last_event_id":  s.bus.LastID(),
+		},
 		"storage": map[string]any{
 			"mode":                  mode,
 			"data_dir":              s.store.DataDir(),

@@ -9,6 +9,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -16,7 +17,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cbsched"
 	"repro/internal/core"
+	"repro/internal/eventbus"
 	"repro/internal/faultinject"
 	"repro/internal/perflog"
 	"repro/internal/perfstore"
@@ -83,6 +86,28 @@ type Config struct {
 	// StageTimeout bounds each pipeline stage attempt in executed runs
 	// (0 keeps the runner's default of no limit).
 	StageTimeout time.Duration
+	// TickInterval paces the recurring-suite scheduler's tick loop
+	// (default 1s).
+	TickInterval time.Duration
+	// SchedJitter is the fraction of each schedule interval added as
+	// uniform jitter (default 0.1).
+	SchedJitter float64
+	// EventBuffer bounds each /v1/watch subscriber's event ring; a
+	// consumer further behind than this loses its oldest events
+	// (default 256).
+	EventBuffer int
+	// ReplayBuffer bounds the bus's Last-Event-ID replay ring (default
+	// 1024).
+	ReplayBuffer int
+	// HeartbeatInterval paces /v1/watch keepalive comments (default
+	// 15s).
+	HeartbeatInterval time.Duration
+	// RegressionTolerance is the fractional drop that flags a
+	// regression after a scheduled run (default 0.10).
+	RegressionTolerance float64
+	// RegressionWindow bounds the sliding baseline for post-run
+	// regression detection (default 5; <0 disables detection).
+	RegressionWindow int
 	// Logger receives structured run-lifecycle logs (default
 	// slog.Default).
 	Logger *slog.Logger
@@ -113,6 +138,24 @@ func (c Config) withDefaults() Config {
 	if c.MaintenanceInterval <= 0 {
 		c.MaintenanceInterval = 30 * time.Second
 	}
+	if c.TickInterval <= 0 {
+		c.TickInterval = time.Second
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 256
+	}
+	if c.ReplayBuffer <= 0 {
+		c.ReplayBuffer = 1024
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 15 * time.Second
+	}
+	if c.RegressionTolerance <= 0 {
+		c.RegressionTolerance = 0.10
+	}
+	if c.RegressionWindow == 0 {
+		c.RegressionWindow = 5
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -133,6 +176,11 @@ type Run struct {
 	Benchmark string
 	System    string
 	Spec      string
+	// ScheduleID names the recurring schedule that fired this run;
+	// empty for client-submitted runs. Completion of a scheduled run
+	// flows back into the scheduler's overlap/backoff state and
+	// triggers regression detection.
+	ScheduleID string
 
 	NumTasks     int
 	TasksPerNode int
@@ -161,6 +209,12 @@ type Server struct {
 	runner *core.Runner
 	tracer *telemetry.Tracer
 	cache  *queryCache
+	bus    *eventbus.Bus
+	sched  *cbsched.Scheduler
+
+	// persistMu serializes schedule-registry saves (atomic replace of
+	// one file; concurrent savers must not interleave tmp writes).
+	persistMu sync.Mutex
 
 	queue chan *Run
 
@@ -233,11 +287,27 @@ func New(cfg Config) (*Server, error) {
 		runner:    runner,
 		tracer:    telemetry.NewTracer(cfg.TraceBuffer),
 		cache:     newQueryCache(cfg.QueryCacheSize),
+		bus:       eventbus.New(cfg.ReplayBuffer),
 		queue:     make(chan *Run, cfg.QueueDepth),
 		runs:      map[string]*Run{},
 		started:   time.Now(),
 		degraded:  degraded,
 		maintStop: make(chan struct{}),
+	}
+	sched, err := cbsched.New(cbsched.Config{
+		Start:        s.startScheduled,
+		Hash:         s.scheduleBuildHash,
+		Publish:      s.publish,
+		TickInterval: cfg.TickInterval,
+		Jitter:       cfg.SchedJitter,
+		Logger:       cfg.Logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.sched = sched
+	if err := s.loadSchedules(); err != nil {
+		return nil, err
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -247,7 +317,51 @@ func New(cfg Config) (*Server, error) {
 		s.maintWG.Add(1)
 		go s.maintain()
 	}
+	// A degraded (read-only) daemon keeps its registry queryable but
+	// does not tick: every firing would be refused by the store anyway.
+	if !degraded {
+		s.sched.Start()
+	}
 	return s, nil
+}
+
+// Bus exposes the event bus so harnesses (the chaos suite, the CLI
+// process embedding a daemon) can subscribe directly.
+func (s *Server) Bus() *eventbus.Bus { return s.bus }
+
+// Scheduler exposes the recurring-suite scheduler (tests drive Tick
+// directly through it).
+func (s *Server) Scheduler() *cbsched.Scheduler { return s.sched }
+
+// publish fans one event out to the bus, retrying transient publish
+// faults (a failed Publish delivered nothing, so the retry cannot
+// duplicate). After Close — the shutdown race — events are dropped
+// silently: subscribers are gone.
+func (s *Server) publish(typ string, data map[string]string) {
+	err := s.publishPolicy().Do(context.Background(), "service.publish",
+		func(context.Context, int) error {
+			_, perr := s.bus.Publish(typ, data)
+			if errors.Is(perr, eventbus.ErrClosed) {
+				return nil
+			}
+			return perr
+		})
+	if err != nil {
+		s.cfg.Logger.Error("event publish failed", "type", typ, "error", err.Error())
+	}
+}
+
+// publishPolicy is the runner's retry policy with sleeps capped low:
+// event fan-out must never hold a worker for a full backoff ladder.
+func (s *Server) publishPolicy() retry.Policy {
+	p := s.runner.Retry
+	if p.MaxAttempts <= 1 {
+		p = retry.Default()
+	}
+	if p.MaxDelay > 50*time.Millisecond || p.MaxDelay <= 0 {
+		p.MaxDelay = 50 * time.Millisecond
+	}
+	return p
 }
 
 // Degraded reports whether the daemon booted read-only because its
@@ -271,6 +385,9 @@ func (s *Server) maintain() {
 				s.cfg.Logger.Error("seal failed", "error", err.Error())
 			} else if n > 0 {
 				s.cfg.Logger.Info("head sealed", "entries", n)
+				s.publish(eventbus.TypeStoreSealed, map[string]string{
+					"entries": fmt.Sprint(n), "reason": "maintenance",
+				})
 			}
 			if ran, err := s.store.Compact(s.cfg.CompactSegments); err != nil {
 				s.cfg.Logger.Error("compaction failed", "error", err.Error())
@@ -293,6 +410,12 @@ func (s *Server) Runner() *core.Runner { return s.runner }
 // unknown benchmark or system, a negative layout override, or when the
 // queue is full.
 func (s *Server) Submit(benchmark, system, specText string, numTasks, tasksPerNode, cpusPerTask int) (*Run, error) {
+	return s.submit(benchmark, system, specText, numTasks, tasksPerNode, cpusPerTask, "")
+}
+
+// submit is Submit plus the schedule provenance used by the recurring
+// scheduler's firings; both paths share the queue and its backpressure.
+func (s *Server) submit(benchmark, system, specText string, numTasks, tasksPerNode, cpusPerTask int, scheduleID string) (*Run, error) {
 	if benchmark == "" || system == "" {
 		return nil, fmt.Errorf("benchmark and system are required")
 	}
@@ -337,6 +460,7 @@ func (s *Server) Submit(benchmark, system, specText string, numTasks, tasksPerNo
 		Benchmark:    benchmark,
 		System:       system,
 		Spec:         specText,
+		ScheduleID:   scheduleID,
 		NumTasks:     numTasks,
 		TasksPerNode: tasksPerNode,
 		CPUsPerTask:  cpusPerTask,
@@ -399,6 +523,7 @@ func (s *Server) execute(run *Run) {
 		telemetry.String("benchmark", run.Benchmark),
 		telemetry.String("system", run.System))
 	s.cfg.Logger.InfoContext(ctx, "run started")
+	s.publish(eventbus.TypeRunStarted, s.runEventData(run, nil))
 	b, err := suite.ByName(run.Benchmark)
 	if err != nil {
 		s.fail(ctx, span, run, err)
@@ -441,6 +566,83 @@ func (s *Server) execute(run *Run) {
 	})
 	s.cfg.Logger.InfoContext(ctx, "run completed",
 		"result", entry.Result, "duration_s", span.Duration().Seconds())
+	s.publish(eventbus.TypeRunFinished, s.runEventData(run, entry))
+	if run.ScheduleID != "" {
+		var runErr error
+		if entry.Result != "pass" {
+			runErr = fmt.Errorf("run %s: %s", entry.Result, entry.Extra["error"])
+		}
+		s.sched.Complete(run.ScheduleID, run.ID, entry.Extra["build_hash"], runErr)
+		// The recorded build hash is the on-build-change baseline;
+		// persist it so a reboot doesn't spuriously re-fire.
+		s.persistSchedules()
+		s.detectRegressions(ctx, run, entry)
+	}
+}
+
+// runEventData is the wire payload for run lifecycle events.
+func (s *Server) runEventData(run *Run, entry *perflog.Entry) map[string]string {
+	data := map[string]string{
+		"run_id":    run.ID,
+		"benchmark": run.Benchmark,
+		"system":    run.System,
+	}
+	if run.ScheduleID != "" {
+		data["schedule_id"] = run.ScheduleID
+	}
+	run.mu.Lock()
+	data["status"] = run.status
+	if run.err != "" {
+		data["error"] = run.err
+	}
+	run.mu.Unlock()
+	if entry != nil {
+		data["result"] = entry.Result
+		for name, f := range entry.FOMs {
+			data["fom_"+name] = fmt.Sprintf("%g %s", f.Value, f.Unit)
+		}
+	}
+	return data
+}
+
+// detectRegressions runs the sliding-baseline evaluator over every FOM
+// the scheduled run produced and publishes regression.detected for each
+// flagged group — the push half of continuous benchmarking: nobody has
+// to poll /v1/regressions to learn a scheduled run got slower.
+func (s *Server) detectRegressions(ctx context.Context, run *Run, entry *perflog.Entry) {
+	if s.cfg.RegressionWindow < 0 {
+		return
+	}
+	for name := range entry.FOMs {
+		q := perfstore.Query{Benchmark: entry.Benchmark, System: entry.System, FOM: name}
+		reports, err := s.store.Regressions(q, s.cfg.RegressionTolerance, s.cfg.RegressionWindow)
+		if err != nil {
+			s.cfg.Logger.ErrorContext(ctx, "regression detection failed",
+				"fom", name, "error", err.Error())
+			continue
+		}
+		for _, rep := range reports {
+			if !rep.Flagged {
+				continue
+			}
+			s.cfg.Logger.WarnContext(ctx, "regression detected",
+				"fom", name, "group", rep.Group,
+				"baseline", rep.Baseline, "latest", rep.Latest, "change", rep.Change)
+			s.publish(eventbus.TypeRegressionDetected, map[string]string{
+				"run_id":      run.ID,
+				"schedule_id": run.ScheduleID,
+				"benchmark":   entry.Benchmark,
+				"system":      entry.System,
+				"fom":         name,
+				"group":       rep.Group,
+				"baseline":    fmt.Sprintf("%g", rep.Baseline),
+				"latest":      fmt.Sprintf("%g", rep.Latest),
+				"change":      fmt.Sprintf("%.4f", rep.Change),
+				"tolerance":   fmt.Sprintf("%g", s.cfg.RegressionTolerance),
+				"window":      fmt.Sprint(s.cfg.RegressionWindow),
+			})
+		}
+	}
 }
 
 func (s *Server) fail(ctx context.Context, span *telemetry.Span, run *Run, err error) {
@@ -452,6 +654,10 @@ func (s *Server) fail(ctx context.Context, span *telemetry.Span, run *Run, err e
 		r.err = err.Error()
 	})
 	s.cfg.Logger.ErrorContext(ctx, "run failed", "error", err.Error())
+	s.publish(eventbus.TypeRunFinished, s.runEventData(run, nil))
+	if run.ScheduleID != "" {
+		s.sched.Complete(run.ScheduleID, run.ID, "", err)
+	}
 }
 
 // Start serves HTTP on addr until Shutdown. It blocks, returning
@@ -473,6 +679,13 @@ func (s *Server) Start(addr string) error {
 // runs still execute: submitted work is never silently dropped. A
 // tiered store seals its remaining head on the way out, so the next
 // boot recovers entirely from segments and parses zero perflog bytes.
+//
+// Ordering matters around the bus: the scheduler stops first (no new
+// firings), queued runs drain (each still publishes its lifecycle
+// events), then a terminal server.shutdown event is published and the
+// bus closed. Watch handlers end their streams on that terminal event
+// (or on bus close), which is what lets http.Shutdown — running
+// concurrently, since it blocks on active SSE handlers — complete.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.closed {
@@ -481,9 +694,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(s.maintStop)
 	}
 	s.mu.Unlock()
-	var herr error
+	s.sched.Stop()
+	httpDone := make(chan error, 1)
 	if s.http != nil {
-		herr = s.http.Shutdown(ctx)
+		go func() { httpDone <- s.http.Shutdown(ctx) }()
+	} else {
+		httpDone <- nil
 	}
 	done := make(chan struct{})
 	go func() {
@@ -494,6 +710,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 	case <-ctx.Done():
+		// Even on a deadline we still terminate streams: subscribers get
+		// the terminal event (or ErrClosed) instead of hanging.
+		s.publish(eventbus.TypeServerShutdown, nil)
+		s.bus.Close()
 		return ctx.Err()
 	}
 	if s.cfg.DataDir != "" && !s.degraded {
@@ -504,7 +724,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			s.cfg.Logger.Error("final seal failed", "error", err.Error())
 		} else if n > 0 {
 			s.cfg.Logger.Info("head sealed on shutdown", "entries", n)
+			s.publish(eventbus.TypeStoreSealed, map[string]string{
+				"entries": fmt.Sprint(n), "reason": "shutdown",
+			})
 		}
 	}
-	return herr
+	s.publish(eventbus.TypeServerShutdown, nil)
+	s.bus.Close()
+	return <-httpDone
 }

@@ -54,6 +54,8 @@ func run(args []string) error {
 		return cmdSurvey(args[1:])
 	case "watch":
 		return cmdWatch(args[1:])
+	case "top":
+		return cmdTop(args[1:])
 	case "list":
 		return cmdList()
 	case "help", "-h", "--help":
@@ -72,6 +74,9 @@ func usage() {
   benchctl survey --system <sys[,sys...]>   BabelStream all-models survey (Figure 2)
   benchctl watch  [--addr URL] [--types t1,t2] [--json] [--count N]
                                             stream benchd events (SSE) live
+  benchctl top    [--addr URL] [--refresh D] [--once]
+                                            live daemon dashboard (queue,
+                                            ingest, cache, alerts)
   benchctl list
 
 flags for run/script:

@@ -1,0 +1,410 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/eventbus"
+	"repro/internal/obs"
+)
+
+// cmdTop is a live terminal dashboard over a benchd daemon: queue
+// depth, in-flight runs, ingest rate, query-cache hit ratio, and
+// runtime health as sparklines from /v1/metrics/history, the active
+// alert rules from /v1/alerts, and a tail of recent events from the
+// /v1/watch SSE stream — continuous benchmarking's cockpit view,
+// without a Grafana between the operator and the daemon.
+func cmdTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:8080", "benchd base URL")
+	refresh := fs.Duration("refresh", 2*time.Second, "dashboard refresh interval")
+	window := fs.Duration("window", 10*time.Minute, "history window behind the sparklines")
+	once := fs.Bool("once", false, "render a single frame and exit (no screen control, pipeline-friendly)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// Recent events arrive over SSE in the background; the render loop
+	// only reads the ring. Reconnects resume via Last-Event-ID like
+	// benchctl watch.
+	tail := &eventTail{limit: 8}
+	if !*once {
+		go tail.follow(ctx, *addr)
+	}
+
+	for {
+		d := collectTop(ctx, client, *addr, *window)
+		d.Events = tail.lines()
+		frame := renderTop(d)
+		if *once {
+			fmt.Print(frame)
+			return nil
+		}
+		// Clear + home, then the frame: a poor man's full-screen repaint
+		// that needs no terminal library.
+		fmt.Print("\x1b[2J\x1b[H" + frame)
+		select {
+		case <-ctx.Done():
+			fmt.Println()
+			return nil
+		case <-time.After(*refresh):
+		}
+	}
+}
+
+// topMetrics are the series the dashboard graphs, in display order.
+var topMetrics = []struct {
+	key     string // canonical series key on /v1/metrics/history
+	label   string
+	counter bool   // render as a per-second rate
+	unit    string // suffix on the latest value
+}{
+	{"benchd_queue_depth", "queue depth", false, ""},
+	{"benchd_runs_in_flight", "in flight", false, ""},
+	{"perfstore_ingest_entries_total", "ingest", true, "/s"},
+	{"go_goroutines", "goroutines", false, ""},
+	{"go_heap_alloc_bytes", "heap", false, "B"},
+}
+
+// cacheSeries are the query-cache counters combined into one hit-ratio
+// row.
+var cacheSeries = []string{
+	`benchd_query_cache_hits_total{kind="aggregate"}`,
+	`benchd_query_cache_hits_total{kind="regressions"}`,
+	`benchd_query_cache_misses_total{kind="aggregate"}`,
+	`benchd_query_cache_misses_total{kind="regressions"}`,
+}
+
+// topData is one dashboard frame's inputs; renderTop is pure over it so
+// tests can pin frames without a daemon.
+type topData struct {
+	Base   string
+	When   time.Time
+	Health map[string]any
+	Series map[string][]obs.Point
+	Alerts []obs.RuleStatus
+	Events []string
+	Errs   []string
+}
+
+// collectTop polls one frame's state. Endpoint failures land in Errs
+// and leave their section empty: a wedged daemon is exactly when the
+// operator runs top, so partial frames beat erroring out.
+func collectTop(ctx context.Context, client *http.Client, base string, window time.Duration) topData {
+	d := topData{
+		Base:   base,
+		When:   time.Now(),
+		Series: map[string][]obs.Point{},
+	}
+	if err := getTopJSON(ctx, client, base, "/healthz", &d.Health); err != nil {
+		d.Errs = append(d.Errs, fmt.Sprintf("healthz: %v", err))
+	}
+	var alerts struct {
+		Alerts []obs.RuleStatus `json:"alerts"`
+	}
+	if err := getTopJSON(ctx, client, base, "/v1/alerts", &alerts); err != nil {
+		d.Errs = append(d.Errs, fmt.Sprintf("alerts: %v", err))
+	}
+	d.Alerts = alerts.Alerts
+	names := make([]string, 0, len(topMetrics)+len(cacheSeries))
+	for _, m := range topMetrics {
+		names = append(names, m.key)
+	}
+	names = append(names, cacheSeries...)
+	for _, name := range names {
+		var hist struct {
+			Points []obs.Point `json:"points"`
+		}
+		path := "/v1/metrics/history?name=" + url.QueryEscape(name) +
+			"&since=" + url.QueryEscape(window.String())
+		if err := getTopJSON(ctx, client, base, path, &hist); err != nil {
+			continue // a series the daemon hasn't sampled yet is not an error
+		}
+		d.Series[name] = hist.Points
+	}
+	return d
+}
+
+func getTopJSON(ctx context.Context, client *http.Client, base, path string, v any) error {
+	u := strings.TrimSuffix(base, "/")
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// sparkBars is the eight-level block ramp sparklines draw with.
+var sparkBars = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders values as a fixed-width bar strip, newest at the
+// right. Values are min-max scaled over the visible window; a flat
+// series renders as a low bar, not an empty strip.
+func sparkline(vals []float64, width int) string {
+	if width <= 0 {
+		return ""
+	}
+	if len(vals) > width {
+		vals = vals[len(vals)-width:]
+	}
+	var b strings.Builder
+	for i := len(vals); i < width; i++ {
+		b.WriteRune(' ')
+	}
+	if len(vals) == 0 {
+		return b.String()
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	for _, v := range vals {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkBars)-1))
+		}
+		b.WriteRune(sparkBars[idx])
+	}
+	return b.String()
+}
+
+// rateSeries converts a cumulative counter's points into per-interval
+// deltas (clamped at zero across restarts), one fewer value than
+// points.
+func rateSeries(pts []obs.Point) []float64 {
+	if len(pts) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(pts)-1)
+	for i := 1; i < len(pts); i++ {
+		dt := pts[i].Time.Sub(pts[i-1].Time).Seconds()
+		dv := pts[i].Last - pts[i-1].Last
+		if dt <= 0 || dv < 0 {
+			out = append(out, 0)
+			continue
+		}
+		out = append(out, dv/dt)
+	}
+	return out
+}
+
+func lastValues(pts []obs.Point) []float64 {
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p.Last
+	}
+	return out
+}
+
+// formatQty renders a value compactly (12, 3.4k, 1.2M, 512MB-ish).
+func formatQty(v float64, unit string) string {
+	abs := math.Abs(v)
+	switch {
+	case abs >= 1e9:
+		return fmt.Sprintf("%.1fG%s", v/1e9, unit)
+	case abs >= 1e6:
+		return fmt.Sprintf("%.1fM%s", v/1e6, unit)
+	case abs >= 1e4:
+		return fmt.Sprintf("%.1fk%s", v/1e3, unit)
+	case abs == math.Trunc(abs) && unit == "":
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.1f%s", v, unit)
+	}
+}
+
+const sparkWidth = 40
+
+// renderTop draws one frame. Pure: everything it shows arrives in d.
+func renderTop(d topData) string {
+	var b strings.Builder
+	status, mode := "?", "?"
+	var uptime, queued, workers float64
+	if d.Health != nil {
+		status, _ = d.Health["status"].(string)
+		if st, ok := d.Health["storage"].(map[string]any); ok {
+			mode, _ = st["mode"].(string)
+		}
+		uptime, _ = d.Health["uptime_s"].(float64)
+		queued, _ = d.Health["queued"].(float64)
+		workers, _ = d.Health["workers"].(float64)
+	}
+	fmt.Fprintf(&b, "benchd top — %s   %s\n", d.Base, d.When.Format("15:04:05"))
+	fmt.Fprintf(&b, "status %-10s mode %-18s up %-12s queued %.0f  workers %.0f\n\n",
+		status, mode, (time.Duration(uptime) * time.Second).String(), queued, workers)
+
+	for _, m := range topMetrics {
+		pts := d.Series[m.key]
+		var vals []float64
+		if m.counter {
+			vals = rateSeries(pts)
+		} else {
+			vals = lastValues(pts)
+		}
+		latest := "-"
+		if len(vals) > 0 {
+			latest = formatQty(vals[len(vals)-1], m.unit)
+		}
+		fmt.Fprintf(&b, "  %-12s %8s  %s\n", m.label, latest, sparkline(vals, sparkWidth))
+	}
+	if hitVals := cacheHitRatio(d.Series); hitVals != nil {
+		latest := "-"
+		if len(hitVals) > 0 && !math.IsNaN(hitVals[len(hitVals)-1]) {
+			latest = fmt.Sprintf("%.0f%%", hitVals[len(hitVals)-1]*100)
+		}
+		fmt.Fprintf(&b, "  %-12s %8s  %s\n", "cache hit", latest, sparkline(hitVals, sparkWidth))
+	}
+
+	firing := 0
+	for _, a := range d.Alerts {
+		if a.State == obs.StateFiring {
+			firing++
+		}
+	}
+	fmt.Fprintf(&b, "\nalerts  %d rules, %d firing\n", len(d.Alerts), firing)
+	for _, a := range d.Alerts {
+		mark := " "
+		if a.State == obs.StateFiring {
+			mark = "!"
+		}
+		cond := a.Kind
+		if a.Op != "" {
+			cond = fmt.Sprintf("%s %s %g", a.Kind, a.Op, a.Value)
+		}
+		fmt.Fprintf(&b, "  %s %-14s %-8s %s (%s)  value=%g  fires=%d\n",
+			mark, a.ID, a.State, a.Metric, cond, a.LastValue, a.Fires)
+	}
+
+	if len(d.Events) > 0 {
+		fmt.Fprintf(&b, "\nrecent events\n")
+		for _, line := range d.Events {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
+	for _, e := range d.Errs {
+		fmt.Fprintf(&b, "\n[%s]\n", e)
+	}
+	return b.String()
+}
+
+// cacheHitRatio folds the four cache counters into one hits/(hits+
+// misses) ratio series, aligned on point index (the sampler scrapes
+// all four on the same ticks). Returns nil before any cache traffic.
+func cacheHitRatio(series map[string][]obs.Point) []float64 {
+	n := 0
+	for _, name := range cacheSeries {
+		if len(series[name]) > n {
+			n = len(series[name])
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	sum := func(name string, i int) float64 {
+		pts := series[name]
+		// Align on the newest edge: shorter series started sampling later.
+		j := i - (n - len(pts))
+		if j < 0 || j >= len(pts) {
+			return 0
+		}
+		return pts[j].Last
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		hits := sum(cacheSeries[0], i) + sum(cacheSeries[1], i)
+		total := hits + sum(cacheSeries[2], i) + sum(cacheSeries[3], i)
+		if total == 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = hits / total
+	}
+	// NaNs (no traffic yet) render as the low bar: replace with the
+	// first real value so the scale stays honest.
+	first := 0.0
+	for _, v := range out {
+		if !math.IsNaN(v) {
+			first = v
+			break
+		}
+	}
+	for i, v := range out {
+		if math.IsNaN(v) {
+			out[i] = first
+		}
+	}
+	return out
+}
+
+// eventTail follows /v1/watch in the background, keeping the last few
+// rendered event lines for the dashboard footer.
+type eventTail struct {
+	mu    sync.Mutex
+	limit int
+	ring  []string
+}
+
+func (t *eventTail) follow(ctx context.Context, base string) {
+	client := &http.Client{}
+	var lastID uint64
+	for ctx.Err() == nil {
+		streamWatch(ctx, client, base, "", &lastID, func(ev eventbus.Event) bool {
+			t.push(ev)
+			return false
+		})
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Second):
+		}
+	}
+}
+
+func (t *eventTail) push(ev eventbus.Event) {
+	line := fmt.Sprintf("%s  %-20s", ev.Time.Format("15:04:05"), ev.Type)
+	for _, k := range []string{"run_id", "alert_id", "metric", "benchmark", "result", "reason", "fom", "change"} {
+		if v, ok := ev.Data[k]; ok {
+			line += fmt.Sprintf(" %s=%s", k, v)
+		}
+	}
+	t.mu.Lock()
+	t.ring = append(t.ring, line)
+	if len(t.ring) > t.limit {
+		t.ring = t.ring[len(t.ring)-t.limit:]
+	}
+	t.mu.Unlock()
+}
+
+func (t *eventTail) lines() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.ring...)
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+var topT0 = time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+
+func gaugePts(vals ...float64) []obs.Point {
+	pts := make([]obs.Point, len(vals))
+	for i, v := range vals {
+		pts[i] = obs.Point{Time: topT0.Add(time.Duration(i) * time.Second), Min: v, Max: v, Mean: v, Last: v, Count: 1}
+	}
+	return pts
+}
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil, 10); got != strings.Repeat(" ", 10) {
+		t.Fatalf("empty sparkline = %q, want blanks", got)
+	}
+	if got := sparkline([]float64{5, 5, 5}, 5); got != "  ▁▁▁" {
+		t.Fatalf("flat sparkline = %q", got)
+	}
+	// A ramp maps its min to the lowest bar and max to the highest.
+	got := sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if got != "▁▂▃▄▅▆▇█" {
+		t.Fatalf("ramp sparkline = %q", got)
+	}
+	// Wider than the window: only the newest values are kept.
+	if got := sparkline([]float64{100, 0, 7}, 2); got != "▁█" {
+		t.Fatalf("truncated sparkline = %q (oldest value must be dropped)", got)
+	}
+	if got := sparkline([]float64{1, 2}, 0); got != "" {
+		t.Fatalf("zero-width sparkline = %q", got)
+	}
+}
+
+func TestRateSeries(t *testing.T) {
+	if got := rateSeries(gaugePts(5)); got != nil {
+		t.Fatalf("single point rate = %v, want nil", got)
+	}
+	// Counter climbing 3/s, with a reset (restart) in the middle.
+	rates := rateSeries(gaugePts(0, 3, 6, 2, 5))
+	want := []float64{3, 3, 0, 3} // the reset clamps to zero, never negative
+	if len(rates) != len(want) {
+		t.Fatalf("rates = %v, want %v", rates, want)
+	}
+	for i := range want {
+		if rates[i] != want[i] {
+			t.Fatalf("rates[%d] = %g, want %g (%v)", i, rates[i], want[i], rates)
+		}
+	}
+}
+
+func TestCacheHitRatio(t *testing.T) {
+	if got := cacheHitRatio(map[string][]obs.Point{}); got != nil {
+		t.Fatalf("no cache series -> %v, want nil", got)
+	}
+	// Aggregate hits climb 0,8,9; regressions misses climb 0,2,1(short,
+	// aligned to the newest edge). Ratio = hits/(hits+misses) per tick.
+	series := map[string][]obs.Point{
+		cacheSeries[0]: gaugePts(0, 8, 9), // hits{aggregate}
+		cacheSeries[3]: gaugePts(2, 1),    // misses{regressions}, started later
+	}
+	got := cacheHitRatio(series)
+	if len(got) != 3 {
+		t.Fatalf("ratio series = %v, want 3 points", got)
+	}
+	// Tick 0: hits 0, misses 0 (short series not yet aligned) -> no
+	// traffic -> backfilled with the first real ratio.
+	if want := 8.0 / 10.0; got[1] != want || got[0] != want {
+		t.Fatalf("ratio = %v, want [%g %g ...]", got, want, want)
+	}
+	if want := 9.0 / 10.0; got[2] != want {
+		t.Fatalf("ratio[2] = %g, want %g", got[2], want)
+	}
+	for _, v := range got {
+		if math.IsNaN(v) {
+			t.Fatalf("ratio series leaks NaN: %v", got)
+		}
+	}
+}
+
+func TestFormatQty(t *testing.T) {
+	cases := []struct {
+		v    float64
+		unit string
+		want string
+	}{
+		{12, "", "12"},
+		{3.5, "", "3.5"},
+		{34000, "", "34.0k"},
+		{1200000, "/s", "1.2M/s"},
+		{2.5e9, "B", "2.5GB"},
+	}
+	for _, c := range cases {
+		if got := formatQty(c.v, c.unit); got != c.want {
+			t.Errorf("formatQty(%g, %q) = %q, want %q", c.v, c.unit, got, c.want)
+		}
+	}
+}
+
+// TestRenderTopFrame pins one whole frame: renderTop is pure over
+// topData, so a canned input must produce the same dashboard.
+func TestRenderTopFrame(t *testing.T) {
+	d := topData{
+		Base: "http://bench:8080",
+		When: topT0,
+		Health: map[string]any{
+			"status":   "ok",
+			"uptime_s": 90.0,
+			"queued":   2.0,
+			"workers":  4.0,
+			"storage":  map[string]any{"mode": "tiered"},
+		},
+		Series: map[string][]obs.Point{
+			"benchd_queue_depth":             gaugePts(0, 1, 2, 2),
+			"perfstore_ingest_entries_total": gaugePts(0, 5, 10),
+		},
+		Alerts: []obs.RuleStatus{
+			{Rule: obs.Rule{ID: "alert-000001", Metric: "benchd_queue_depth",
+				Kind: obs.KindThreshold, Op: obs.OpGT, Value: 10},
+				State: obs.StateFiring, LastValue: 42, Fires: 1},
+			{Rule: obs.Rule{ID: "alert-000002", Metric: "x", Kind: obs.KindAbsence},
+				State: obs.StateOK},
+		},
+		Events: []string{"12:00:00  alert.fired  alert_id=alert-000001"},
+		Errs:   []string{"alerts: boom"},
+	}
+	frame := renderTop(d)
+	for _, want := range []string{
+		"benchd top — http://bench:8080",
+		"status ok",
+		"mode tiered",
+		"up 1m30s",
+		"queued 2  workers 4",
+		"queue depth         2", // latest gauge value
+		"ingest          5.0/s", // counter rendered as a rate
+		"alerts  2 rules, 1 firing",
+		"! alert-000001   firing   benchd_queue_depth (threshold gt 10)  value=42  fires=1",
+		"  alert-000002   ok       x (absence)",
+		"recent events",
+		"alert_id=alert-000001",
+		"[alerts: boom]",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	// Metrics with no points render a placeholder, not a crash or a lie.
+	if !strings.Contains(frame, "goroutines          -") {
+		t.Errorf("missing placeholder row for unsampled series:\n%s", frame)
+	}
+}

@@ -25,6 +25,16 @@
 //	curl -s -X POST localhost:8080/v1/schedules \
 //	    -d '{"benchmark":"babelstream-omp","system":"archer2","every":"10m"}'
 //	curl -sN 'localhost:8080/v1/watch?types=run.finished,regression.detected'
+//
+// Self-observability: the daemon samples its own metrics into a
+// multi-resolution history, evaluates declarative alert rules
+// (publishing alert.fired / alert.resolved on /v1/watch), and captures
+// pprof snapshots when alerts fire:
+//
+//	curl -s -X POST localhost:8080/v1/alerts \
+//	    -d '{"metric":"benchd_queue_depth","kind":"threshold","op":"gt","value":48,"for":"30s"}'
+//	curl -s 'localhost:8080/v1/metrics/history?name=benchd_queue_depth&since=15m'
+//	curl -s localhost:8080/v1/profiles
 package main
 
 import (
@@ -75,6 +85,10 @@ func run(args []string) error {
 	heartbeat := fs.Duration("heartbeat", 15*time.Second, "/v1/watch keepalive interval")
 	regressTol := fs.Float64("regress-tolerance", 0.10, "fractional drop flagged after scheduled runs")
 	regressWindow := fs.Int("regress-window", 5, "sliding baseline window for post-run regression detection (<0 disables)")
+	sampleInterval := fs.Duration("sample-interval", 10*time.Second, "self-observability metric sampling interval")
+	historyCap := fs.Int("history-capacity", 512, "retained points per metric series per resolution tier")
+	profileLimit := fs.Int("profile-limit", 16, "retained alert-triggered pprof artifacts")
+	profileCooldown := fs.Duration("profile-cooldown", time.Minute, "minimum gap between alert-triggered profile captures")
 	retries := fs.Int("retries", 0, "max attempts per pipeline stage on transient failures (0 = default policy)")
 	faults := fs.String("faults", "", "fault-injection schedule, e.g. 'scheduler.submit:error:rate=0.1' (testing)")
 	faultSeed := fs.Int64("fault-seed", 1, "PRNG seed for --faults decisions")
@@ -134,6 +148,11 @@ func run(args []string) error {
 		HeartbeatInterval:   *heartbeat,
 		RegressionTolerance: *regressTol,
 		RegressionWindow:    *regressWindow,
+
+		SampleInterval:  *sampleInterval,
+		HistoryCapacity: *historyCap,
+		ProfileLimit:    *profileLimit,
+		ProfileCooldown: *profileCooldown,
 	})
 	if err != nil {
 		return err

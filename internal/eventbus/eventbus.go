@@ -33,6 +33,8 @@ const (
 	TypeRegressionDetected = "regression.detected"
 	TypeScheduleFired      = "schedule.fired"
 	TypeStoreSealed        = "store.sealed"
+	TypeAlertFired         = "alert.fired"
+	TypeAlertResolved      = "alert.resolved"
 	TypeServerShutdown     = "server.shutdown"
 )
 
@@ -41,7 +43,8 @@ const (
 func Types() []string {
 	return []string{
 		TypeRunStarted, TypeRunFinished, TypeRegressionDetected,
-		TypeScheduleFired, TypeStoreSealed, TypeServerShutdown,
+		TypeScheduleFired, TypeStoreSealed, TypeAlertFired,
+		TypeAlertResolved, TypeServerShutdown,
 	}
 }
 

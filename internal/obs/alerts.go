@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// The alert-rules engine. Rules are declarative — threshold,
+// rate-of-change, or absence over one metric series — and evaluated on
+// every sampler tick against the freshly scraped snapshot. Hysteresis
+// comes from the For duration: a breach must hold continuously that
+// long before the rule fires, so a metric flapping across its threshold
+// between ticks never spams the bus. Fired and resolved transitions
+// publish typed events exactly once per transition; a skipped tick (an
+// injected obs.sample fault, a paused daemon) simply delays the next
+// evaluation and can never duplicate an event.
+
+// Rule kinds.
+const (
+	KindThreshold = "threshold" // latest value Op Value
+	KindRate      = "rate"      // per-second change over Window Op Value
+	KindAbsence   = "absence"   // series missing from the latest scrape
+)
+
+// Comparison operators for threshold and rate rules.
+const (
+	OpGT = "gt"
+	OpGE = "ge"
+	OpLT = "lt"
+	OpLE = "le"
+)
+
+// Alert states.
+const (
+	StateOK      = "ok"
+	StatePending = "pending" // breaching, waiting out For
+	StateFiring  = "firing"
+)
+
+// Resolution reasons carried on alert.resolved events.
+const (
+	ResolveRecovered = "recovered"
+	ResolveShutdown  = "shutdown"
+	ResolveDeleted   = "rule_deleted"
+)
+
+// Duration marshals as a Go duration string ("30s", "5m") in JSON,
+// matching the schedule API's convention.
+type Duration time.Duration
+
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return fmt.Errorf("obs: bad duration %q: %w", s, err)
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// Rule is one declarative alert. Metric is the canonical series key as
+// served by /v1/metrics/history — the bare family name, or
+// name{label="value",...} for labelled series.
+type Rule struct {
+	ID     string   `json:"id,omitempty"` // assigned by the engine
+	Name   string   `json:"name,omitempty"`
+	Metric string   `json:"metric"`
+	Kind   string   `json:"kind"`
+	Op     string   `json:"op,omitempty"`     // threshold, rate
+	Value  float64  `json:"value"`            // threshold, rate limit (per second)
+	For    Duration `json:"for,omitempty"`    // hysteresis: breach must hold this long
+	Window Duration `json:"window,omitempty"` // rate lookback (default 10 sample intervals)
+}
+
+// Validate rejects malformed rules before they enter the engine.
+func (r Rule) Validate() error {
+	if r.Metric == "" {
+		return fmt.Errorf("obs: rule needs a metric")
+	}
+	switch r.Kind {
+	case KindThreshold, KindRate:
+		switch r.Op {
+		case OpGT, OpGE, OpLT, OpLE:
+		default:
+			return fmt.Errorf("obs: rule kind %q needs op gt|ge|lt|le, got %q", r.Kind, r.Op)
+		}
+	case KindAbsence:
+		if r.Op != "" {
+			return fmt.Errorf("obs: absence rules take no op")
+		}
+	default:
+		return fmt.Errorf("obs: unknown rule kind %q (kinds: threshold, rate, absence)", r.Kind)
+	}
+	if r.For < 0 || r.Window < 0 {
+		return fmt.Errorf("obs: for and window must be non-negative")
+	}
+	return nil
+}
+
+func compare(op string, v, limit float64) bool {
+	switch op {
+	case OpGT:
+		return v > limit
+	case OpGE:
+		return v >= limit
+	case OpLT:
+		return v < limit
+	case OpLE:
+		return v <= limit
+	}
+	return false
+}
+
+// RuleStatus is a rule plus its live evaluation state, as served by
+// GET /v1/alerts.
+type RuleStatus struct {
+	Rule
+	State     string    `json:"state"`
+	Since     time.Time `json:"since,omitempty"`      // current state entered
+	LastValue float64   `json:"last_value"`           // threshold/absence: latest sample; rate: computed rate
+	LastEval  time.Time `json:"last_eval,omitempty"`  // newest evaluated tick
+	Fires     int       `json:"fires"`                // lifetime fire count
+	LastFired time.Time `json:"last_fired,omitempty"` // newest transition to firing
+}
+
+// armedRule is a rule plus mutable engine state. The Observer's lock
+// guards it.
+type armedRule struct {
+	Rule
+	state       string
+	since       time.Time // when the current state was entered
+	breachSince time.Time // continuous-breach start (pending hysteresis)
+	lastValue   float64
+	lastEval    time.Time
+	fires       int
+	lastFired   time.Time
+}
+
+func (ar *armedRule) status() RuleStatus {
+	return RuleStatus{
+		Rule:      ar.Rule,
+		State:     ar.state,
+		Since:     ar.since,
+		LastValue: ar.lastValue,
+		LastEval:  ar.lastEval,
+		Fires:     ar.fires,
+		LastFired: ar.lastFired,
+	}
+}
+
+// evaluate computes breach-or-not for one tick. present/value describe
+// the rule's metric in the current scrape; hist is the metric's series
+// (may be nil early in life) for rate lookback.
+func (ar *armedRule) evaluate(now time.Time, present bool, value float64, hist *series, baseStep time.Duration) bool {
+	switch ar.Kind {
+	case KindAbsence:
+		ar.lastValue = value
+		return !present
+	case KindThreshold:
+		ar.lastValue = value
+		return present && compare(ar.Op, value, ar.Value)
+	case KindRate:
+		if !present || hist == nil {
+			return false
+		}
+		window := time.Duration(ar.Window)
+		if window <= 0 {
+			window = 10 * baseStep
+		}
+		pts, _ := hist.window(now.Add(-window), 0, baseStep, 1)
+		if len(pts) < 2 {
+			return false
+		}
+		first, last := pts[0], pts[len(pts)-1]
+		dt := last.Time.Sub(first.Time).Seconds()
+		if dt <= 0 {
+			return false
+		}
+		rate := (last.Last - first.Last) / dt
+		ar.lastValue = rate
+		return compare(ar.Op, rate, ar.Value)
+	}
+	return false
+}
+
+// transition advances the rule's state machine for one evaluated tick
+// and reports whether it fired or resolved on this tick.
+func (ar *armedRule) transition(now time.Time, breaching bool) (fired, resolved bool) {
+	ar.lastEval = now
+	switch {
+	case breaching && ar.state == StateOK:
+		ar.breachSince = now
+		if ar.For == 0 {
+			ar.state = StateFiring
+			ar.since = now
+			ar.fires++
+			ar.lastFired = now
+			return true, false
+		}
+		ar.state = StatePending
+		ar.since = now
+	case breaching && ar.state == StatePending:
+		if now.Sub(ar.breachSince) >= time.Duration(ar.For) {
+			ar.state = StateFiring
+			ar.since = now
+			ar.fires++
+			ar.lastFired = now
+			return true, false
+		}
+	case !breaching && ar.state == StatePending:
+		ar.state = StateOK
+		ar.since = now
+	case !breaching && ar.state == StateFiring:
+		ar.state = StateOK
+		ar.since = now
+		return false, true
+	}
+	return false, false
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuleValidate(t *testing.T) {
+	good := []Rule{
+		{Metric: "benchd_queue_depth", Kind: KindThreshold, Op: OpGT, Value: 10},
+		{Metric: "x", Kind: KindRate, Op: OpLT, Value: -1, Window: Duration(time.Minute)},
+		{Metric: "x", Kind: KindAbsence},
+	}
+	for i, r := range good {
+		if err := r.Validate(); err != nil {
+			t.Errorf("good rule %d rejected: %v", i, err)
+		}
+	}
+	bad := []Rule{
+		{Kind: KindThreshold, Op: OpGT},                       // no metric
+		{Metric: "x", Kind: KindThreshold},                    // no op
+		{Metric: "x", Kind: KindThreshold, Op: "above"},       // bad op
+		{Metric: "x", Kind: "spike"},                          // bad kind
+		{Metric: "x", Kind: KindAbsence, Op: OpGT},            // absence takes no op
+		{Metric: "x", Kind: KindThreshold, Op: OpGT, For: -1}, // negative for
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("bad rule %d accepted", i)
+		}
+	}
+}
+
+func TestDurationJSONRoundTrip(t *testing.T) {
+	r := Rule{Metric: "x", Kind: KindThreshold, Op: OpGT, Value: 5, For: Duration(90 * time.Second)}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `"for":"1m30s"`; !strings.Contains(string(data), want) {
+		t.Fatalf("marshal = %s, want it to contain %s", data, want)
+	}
+	var back Rule
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.For != r.For {
+		t.Fatalf("round-trip For = %v, want %v", back.For, r.For)
+	}
+	if err := json.Unmarshal([]byte(`{"metric":"x","kind":"threshold","op":"gt","for":"banana"}`), &back); err == nil {
+		t.Fatal("bad duration accepted")
+	}
+}
+
+// step advances one evaluation tick for a threshold rule.
+func step(t *testing.T, ar *armedRule, now time.Time, value float64) (fired, resolved bool) {
+	t.Helper()
+	breaching := ar.evaluate(now, true, value, nil, time.Second)
+	return ar.transition(now, breaching)
+}
+
+// TestHysteresisFireResolveFlap walks the state machine with an
+// injected clock: a breach shorter than For never fires, a held breach
+// fires exactly once, recovery resolves exactly once, and flapping
+// around the threshold produces no events at all.
+func TestHysteresisFireResolveFlap(t *testing.T) {
+	ar := &armedRule{Rule: Rule{
+		ID: "alert-000001", Metric: "q", Kind: KindThreshold, Op: OpGT,
+		Value: 10, For: Duration(3 * time.Second),
+	}, state: StateOK}
+	now := t0
+
+	// Breach for 2s (< For), then recover: pending, never firing.
+	for i := 0; i < 2; i++ {
+		if f, r := step(t, ar, now, 50); f || r {
+			t.Fatalf("tick %d: fired=%v resolved=%v during pending window", i, f, r)
+		}
+		now = now.Add(time.Second)
+	}
+	if ar.state != StatePending {
+		t.Fatalf("state = %s, want pending", ar.state)
+	}
+	if f, r := step(t, ar, now, 5); f || r {
+		t.Fatalf("recovery from pending published an event (fired=%v resolved=%v)", f, r)
+	}
+	if ar.state != StateOK {
+		t.Fatalf("state after recovery = %s, want ok", ar.state)
+	}
+
+	// Sustained breach: fires exactly once when the For window elapses.
+	now = now.Add(time.Second)
+	firedCount := 0
+	for i := 0; i < 6; i++ {
+		f, r := step(t, ar, now, 99)
+		if f {
+			firedCount++
+		}
+		if r {
+			t.Fatal("resolved while still breaching")
+		}
+		now = now.Add(time.Second)
+	}
+	if firedCount != 1 {
+		t.Fatalf("sustained breach fired %d times, want 1", firedCount)
+	}
+	if ar.state != StateFiring || ar.fires != 1 {
+		t.Fatalf("state=%s fires=%d, want firing/1", ar.state, ar.fires)
+	}
+
+	// Recovery: resolves exactly once.
+	f, r := step(t, ar, now, 1)
+	if f || !r {
+		t.Fatalf("recovery: fired=%v resolved=%v, want resolve only", f, r)
+	}
+	now = now.Add(time.Second)
+	if f, r := step(t, ar, now, 1); f || r {
+		t.Fatal("second ok tick published an event")
+	}
+
+	// Flap faster than For: no events ever.
+	for i := 0; i < 10; i++ {
+		v := 1.0
+		if i%2 == 0 {
+			v = 99
+		}
+		if f, r := step(t, ar, now, v); f || r {
+			t.Fatalf("flap tick %d published an event (fired=%v resolved=%v)", i, f, r)
+		}
+		now = now.Add(time.Second)
+	}
+	if ar.fires != 1 {
+		t.Fatalf("flapping changed fire count to %d", ar.fires)
+	}
+}
+
+// TestForZeroFiresImmediately: no hysteresis requested, first breaching
+// tick fires.
+func TestForZeroFiresImmediately(t *testing.T) {
+	ar := &armedRule{Rule: Rule{Metric: "q", Kind: KindThreshold, Op: OpGE, Value: 1}, state: StateOK}
+	if f, _ := step(t, ar, t0, 1); !f {
+		t.Fatal("For=0 rule did not fire on first breach")
+	}
+}
+
+// TestRateRule: the rate kind computes a per-second delta over its
+// window from the raw tier.
+func TestRateRule(t *testing.T) {
+	s := newSeries("counter", 100, 3)
+	now := t0
+	// Counter climbing 5/s for 20 ticks.
+	for i := 0; i <= 20; i++ {
+		s.add(now.Add(time.Duration(i)*time.Second), float64(i*5), 10)
+	}
+	now = now.Add(20 * time.Second)
+	ar := &armedRule{Rule: Rule{
+		Metric: "c", Kind: KindRate, Op: OpGT, Value: 4,
+		Window: Duration(10 * time.Second),
+	}, state: StateOK}
+	if !ar.evaluate(now, true, 100, s, time.Second) {
+		t.Fatalf("rate %g did not breach gt 4", ar.lastValue)
+	}
+	if ar.lastValue < 4.9 || ar.lastValue > 5.1 {
+		t.Fatalf("computed rate = %g, want ≈5", ar.lastValue)
+	}
+	ar.Value = 6 // now the limit is above the true rate
+	if ar.evaluate(now, true, 100, s, time.Second) {
+		t.Fatalf("rate %g breached gt 6", ar.lastValue)
+	}
+	// Too little history: never breaches rather than guessing.
+	young := newSeries("counter", 100, 3)
+	young.add(now, 1, 10)
+	if ar.evaluate(now, true, 1, young, time.Second) {
+		t.Fatal("single-point series produced a rate breach")
+	}
+}
+
+// TestAbsenceRule: breaches exactly when the metric is missing from the
+// scrape.
+func TestAbsenceRule(t *testing.T) {
+	ar := &armedRule{Rule: Rule{Metric: "gone", Kind: KindAbsence}, state: StateOK}
+	if ar.evaluate(t0, true, 3, nil, time.Second) {
+		t.Fatal("present metric breached absence rule")
+	}
+	if !ar.evaluate(t0, false, 0, nil, time.Second) {
+		t.Fatal("missing metric did not breach absence rule")
+	}
+}

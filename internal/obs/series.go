@@ -1,0 +1,172 @@
+package obs
+
+import "time"
+
+// The multi-resolution time-series ring. Every sampled series owns one:
+// tier 0 holds raw samples at the sampler interval, and each coarser
+// tier holds buckets of Factor points from the tier below, downsampled
+// to (min, max, mean, last, count). Memory is bounded by construction —
+// capacity × tiers points per series — while the coarsest tier covers
+// Factor^tiers × capacity sample intervals of history (at the 10s
+// default: raw ≈ 1.4h, tier 1 ≈ 14h, tier 2 ≈ 6 days).
+
+// Point is one retained observation: a raw sample (Count == 1,
+// Min == Max == Mean == Last) or a downsampled bucket. Time is the
+// moment of the newest raw sample the point covers.
+type Point struct {
+	Time  time.Time `json:"t"`
+	Min   float64   `json:"min"`
+	Max   float64   `json:"max"`
+	Mean  float64   `json:"mean"`
+	Last  float64   `json:"last"`
+	Count int       `json:"count"`
+}
+
+// rawPoint wraps a single observation as a Point.
+func rawPoint(t time.Time, v float64) Point {
+	return Point{Time: t, Min: v, Max: v, Mean: v, Last: v, Count: 1}
+}
+
+// accum merges consecutive points into the next coarser bucket.
+type accum struct {
+	pts int // points absorbed (not raw count: tier cascade feeds buckets)
+	p   Point
+}
+
+func (a *accum) add(p Point) {
+	if a.pts == 0 {
+		a.p = p
+		a.pts = 1
+		return
+	}
+	if p.Min < a.p.Min {
+		a.p.Min = p.Min
+	}
+	if p.Max > a.p.Max {
+		a.p.Max = p.Max
+	}
+	// Means merge weighted by raw-sample count, so a bucket's mean is
+	// exactly the mean of every raw sample it covers.
+	total := a.p.Count + p.Count
+	a.p.Mean = (a.p.Mean*float64(a.p.Count) + p.Mean*float64(p.Count)) / float64(total)
+	a.p.Count = total
+	a.p.Last = p.Last
+	a.p.Time = p.Time
+	a.pts++
+}
+
+// ring is one tier's fixed-capacity point buffer.
+type ring struct {
+	buf  []Point
+	head int // index of oldest point
+	n    int
+}
+
+func newRing(capacity int) *ring { return &ring{buf: make([]Point, capacity)} }
+
+func (r *ring) push(p Point) {
+	if r.n == len(r.buf) {
+		r.buf[r.head] = p
+		r.head = (r.head + 1) % len(r.buf)
+		return
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = p
+	r.n++
+}
+
+// points returns the retained points oldest-first.
+func (r *ring) points() []Point {
+	out := make([]Point, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	return out
+}
+
+func (r *ring) oldest() (Point, bool) {
+	if r.n == 0 {
+		return Point{}, false
+	}
+	return r.buf[r.head], true
+}
+
+// series is one metric's multi-resolution history. Not safe for
+// concurrent use; the Observer serialises access.
+type series struct {
+	kind  string
+	tiers []*ring
+	accs  []accum // accs[i] feeds tiers[i+1]
+}
+
+func newSeries(kind string, capacity, tiers int) *series {
+	s := &series{kind: kind}
+	for i := 0; i < tiers; i++ {
+		s.tiers = append(s.tiers, newRing(capacity))
+	}
+	s.accs = make([]accum, tiers-1)
+	return s
+}
+
+// add records one raw sample and cascades full buckets upward.
+func (s *series) add(t time.Time, v float64, factor int) {
+	p := rawPoint(t, v)
+	s.tiers[0].push(p)
+	for i := range s.accs {
+		s.accs[i].add(p)
+		if s.accs[i].pts < factor {
+			return
+		}
+		p = s.accs[i].p
+		s.accs[i] = accum{}
+		s.tiers[i+1].push(p)
+	}
+}
+
+// latest returns the newest raw sample.
+func (s *series) latest() (Point, bool) {
+	r := s.tiers[0]
+	if r.n == 0 {
+		return Point{}, false
+	}
+	return r.buf[(r.head+r.n-1)%len(r.buf)], true
+}
+
+// window picks the tier for a query: the finest tier whose nominal step
+// is at least reqStep, then coarsened further until the tier's history
+// reaches back to since (a coarser tier always covers at least as much
+// time). Returns the selected tier's points at or after since plus the
+// tier index, falling back toward finer tiers when the chosen one is
+// still empty (early life: coarse buckets take Factor samples to form).
+func (s *series) window(since time.Time, reqStep, baseStep time.Duration, factor int) ([]Point, int) {
+	idx := 0
+	if reqStep > 0 {
+		step := baseStep
+		for idx < len(s.tiers)-1 && step < reqStep {
+			step *= time.Duration(factor)
+			idx++
+		}
+	}
+	for idx < len(s.tiers)-1 {
+		old, ok := s.tiers[idx].oldest()
+		if ok && !old.Time.After(since) {
+			break // this tier reaches back far enough
+		}
+		coarse, cok := s.tiers[idx+1].oldest()
+		if !cok {
+			break // nothing coarser exists yet
+		}
+		if ok && !coarse.Time.Before(old.Time) {
+			break // coarser tier reaches no further back (nothing evicted yet)
+		}
+		idx++
+	}
+	for idx > 0 && s.tiers[idx].n == 0 {
+		idx--
+	}
+	pts := s.tiers[idx].points()
+	cut := 0
+	for cut < len(pts) && pts[cut].Time.Before(since) {
+		cut++
+	}
+	return pts[cut:], idx
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+
+// TestDownsamplingBracketsRaw is the property test at the heart of the
+// multi-resolution ring: for any sequence of raw samples, every bucket
+// in every coarser tier must have Min ≤ Mean ≤ Max with Min/Max exactly
+// the extrema of the raw samples it covers, Count the raw sample count,
+// and the tier-wide weighted mean equal to the raw mean. Downsampling
+// may lose resolution, never truth.
+func TestDownsamplingBracketsRaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const (
+		n      = 1000
+		factor = 10
+		tiers  = 3
+		bigCap = 100000 // capacity > n so nothing evicts and we can compare exactly
+	)
+	s := newSeries("gauge", bigCap, tiers)
+	raw := make([]float64, n)
+	for i := range raw {
+		raw[i] = rng.NormFloat64()*100 + 50
+		s.add(t0.Add(time.Duration(i)*time.Second), raw[i], factor)
+	}
+	for tier := 1; tier < tiers; tier++ {
+		per := 1
+		for i := 0; i < tier; i++ {
+			per *= factor
+		}
+		pts := s.tiers[tier].points()
+		if want := n / per; len(pts) != want {
+			t.Fatalf("tier %d: %d buckets, want %d", tier, len(pts), want)
+		}
+		for bi, p := range pts {
+			chunk := raw[bi*per : (bi+1)*per]
+			lo, hi, sum := math.Inf(1), math.Inf(-1), 0.0
+			for _, v := range chunk {
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+				sum += v
+			}
+			if p.Count != per {
+				t.Fatalf("tier %d bucket %d: count=%d want %d", tier, bi, p.Count, per)
+			}
+			if p.Min != lo || p.Max != hi {
+				t.Errorf("tier %d bucket %d: min/max=%g/%g want %g/%g", tier, bi, p.Min, p.Max, lo, hi)
+			}
+			if mean := sum / float64(per); math.Abs(p.Mean-mean) > 1e-9*math.Abs(mean) {
+				t.Errorf("tier %d bucket %d: mean=%g want %g", tier, bi, p.Mean, mean)
+			}
+			if p.Min > p.Mean || p.Mean > p.Max {
+				t.Errorf("tier %d bucket %d: mean %g outside [%g, %g]", tier, bi, p.Mean, p.Min, p.Max)
+			}
+			if p.Last != chunk[per-1] {
+				t.Errorf("tier %d bucket %d: last=%g want %g", tier, bi, p.Last, chunk[per-1])
+			}
+		}
+	}
+}
+
+func TestRingEvictsOldestAndBoundsMemory(t *testing.T) {
+	s := newSeries("gauge", 8, 3)
+	for i := 0; i < 1000; i++ {
+		s.add(t0.Add(time.Duration(i)*time.Second), float64(i), 10)
+	}
+	for tier, r := range s.tiers {
+		if r.n > 8 {
+			t.Fatalf("tier %d grew to %d points (cap 8)", tier, r.n)
+		}
+	}
+	pts := s.tiers[0].points()
+	if len(pts) != 8 {
+		t.Fatalf("raw tier holds %d, want 8", len(pts))
+	}
+	// Newest 8 survive: 992..999.
+	if pts[0].Last != 992 || pts[7].Last != 999 {
+		t.Fatalf("raw window = [%g, %g], want [992, 999]", pts[0].Last, pts[7].Last)
+	}
+	if got, ok := s.latest(); !ok || got.Last != 999 {
+		t.Fatalf("latest = %v, %v", got, ok)
+	}
+}
+
+// TestWindowTierSelection: a query asking for coarse steps gets a
+// coarse tier; a since inside the raw window gets raw; early life (no
+// coarse buckets yet) falls back to the finest populated tier.
+func TestWindowTierSelection(t *testing.T) {
+	base := time.Second
+	s := newSeries("gauge", 50, 3)
+	for i := 0; i < 500; i++ {
+		s.add(t0.Add(time.Duration(i)*base), float64(i), 10)
+	}
+	// Raw tier covers samples 450..499; asking within it stays raw.
+	pts, tier := s.window(t0.Add(460*base), 0, base, 10)
+	if tier != 0 {
+		t.Fatalf("recent window served from tier %d, want 0", tier)
+	}
+	if len(pts) == 0 || pts[0].Time.Before(t0.Add(460*base)) {
+		t.Fatalf("window returned points before since: %+v", pts[0])
+	}
+	// Asking for all history must climb: raw can't reach back to t0.
+	pts, tier = s.window(t0, 0, base, 10)
+	if tier == 0 {
+		t.Fatalf("full-history window stayed on raw tier")
+	}
+	if len(pts) == 0 {
+		t.Fatal("full-history window empty")
+	}
+	// An explicit coarse step requests the coarse tier directly.
+	_, tier = s.window(t0.Add(490*base), 100*base, base, 10)
+	if tier != 2 {
+		t.Fatalf("step=100x served from tier %d, want 2", tier)
+	}
+	// Early life: only 3 samples, no coarse buckets formed yet.
+	young := newSeries("gauge", 50, 3)
+	for i := 0; i < 3; i++ {
+		young.add(t0.Add(time.Duration(i)*base), float64(i), 10)
+	}
+	pts, tier = young.window(t0, 100*base, base, 10)
+	if tier != 0 || len(pts) != 3 {
+		t.Fatalf("young series served tier %d with %d points, want tier 0 with 3", tier, len(pts))
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -30,6 +31,7 @@ import (
 
 	"repro/internal/eventbus"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/perflog"
 	"repro/internal/perfstore"
 	"repro/internal/retry"
@@ -54,7 +56,18 @@ const chaosSchedule = "scheduler.submit:error:rate=0.25," +
 	// (clients reconnect and replay via Last-Event-ID).
 	"cbsched.tick:error:rate=0.15," +
 	"eventbus.publish:error:rate=0.2:times=6," +
-	"service.watchwrite:error:rate=0.03"
+	"service.watchwrite:error:rate=0.03," +
+	// Self-observability paths: skipped sampler ticks (history gets a
+	// gap, alert evaluation waits for the next tick, state never tears),
+	// failed history flushes (the previous on-disk snapshot survives
+	// intact — atomic write), and failed pprof captures (exactly the two
+	// capture attempts of the canary alert's fire, which must not stop
+	// the alert itself from firing). every= rather than rate= so the
+	// fired-counter assertions below hold even on a machine fast enough
+	// to finish the soak in a handful of sampler ticks.
+	"obs.sample:error:every=5," +
+	"obs.historywrite:error:every=2," +
+	"obs.profilecapture:error:times=2"
 
 func TestChaosSoak(t *testing.T) { chaosSoak(t, "") }
 
@@ -94,6 +107,10 @@ func chaosSoak(t *testing.T, dataDir string) {
 		TickInterval:      25 * time.Millisecond,
 		EventBuffer:       16,
 		HeartbeatInterval: 100 * time.Millisecond,
+		// Fast self-observability sampling with frequent history flushes
+		// so the obs fault points get plenty of draws during the soak.
+		SampleInterval:    25 * time.Millisecond,
+		HistoryFlushEvery: 3,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -116,6 +133,7 @@ func chaosSoak(t *testing.T, dataDir string) {
 	for _, pk := range [][2]string{
 		{"scheduler.submit", "error"}, {"buildsys.install", "error"}, {"perfstore.read", "short"},
 		{"cbsched.tick", "error"}, {"eventbus.publish", "error"},
+		{"obs.sample", "error"}, {"obs.profilecapture", "error"},
 	} {
 		v, _ := reg.Value("faultinject_fired_total", pk[0], pk[1])
 		classBefore[pk[0]+"|"+pk[1]] = v
@@ -140,16 +158,33 @@ func chaosSoak(t *testing.T, dataDir string) {
 	defer watchCancel()
 	var watchMu sync.Mutex
 	watchSeen := map[string]bool{}
+	// The same watcher also follows the alert lifecycle. Last-Event-ID
+	// replay can redeliver events across reconnects, so alert events are
+	// deduplicated by bus event id before sequence checking — a healthy
+	// consumer must never conclude an alert fired twice without an
+	// intervening resolve.
+	alertEvSeen := map[uint64]bool{}
+	alertSeq := map[string][]string{} // alert_id -> ordered event types
 	var watchWG sync.WaitGroup
 	watchWG.Add(1)
 	go func() {
 		defer watchWG.Done()
 		var lastID uint64
 		for watchCtx.Err() == nil {
-			err := chaosWatchOnce(watchCtx, ts.URL, &lastID, func(runID string) {
+			err := chaosWatchOnce(watchCtx, ts.URL, &lastID, func(ev eventbus.Event) {
 				watchMu.Lock()
-				watchSeen[runID] = true
-				watchMu.Unlock()
+				defer watchMu.Unlock()
+				switch ev.Type {
+				case eventbus.TypeRunFinished:
+					watchSeen[ev.Data["run_id"]] = true
+				case eventbus.TypeAlertFired, eventbus.TypeAlertResolved:
+					if alertEvSeen[ev.ID] {
+						return // replayed duplicate
+					}
+					alertEvSeen[ev.ID] = true
+					id := ev.Data["alert_id"]
+					alertSeq[id] = append(alertSeq[id], ev.Type)
+				}
 			})
 			if err != nil && watchCtx.Err() == nil {
 				time.Sleep(10 * time.Millisecond) // reconnect with replay
@@ -212,6 +247,29 @@ func chaosSoak(t *testing.T, dataDir string) {
 			t.Fatalf("schedule create: %d: %s", resp.StatusCode, data)
 		}
 		if err := json.Unmarshal(data, &sched); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A canary alert rule that breaches on every sampler tick: it must
+	// fire exactly once during the soak — skipped ticks from obs.sample
+	// faults delay it, failed pprof captures must not suppress it, and
+	// the healthy watcher must never see a duplicate fire.
+	var canary struct {
+		ID string `json:"id"`
+	}
+	{
+		resp, err := client.Post(ts.URL+"/v1/alerts", "application/json",
+			strings.NewReader(`{"name":"chaos-canary","metric":"benchd_queue_depth","kind":"threshold","op":"gt","value":-1}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("alert create: %d: %s", resp.StatusCode, data)
+		}
+		if err := json.Unmarshal(data, &canary); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -445,8 +503,49 @@ func chaosSoak(t *testing.T, dataDir string) {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
+	// The canary rule must be firing by the end of the soak — obs.sample
+	// faults only skip ticks, they never lose the breach.
+	{
+		var st struct {
+			State string `json:"state"`
+			Fires int    `json:"fires"`
+		}
+		if code := getJSON(t, ts.URL+"/v1/alerts/"+canary.ID, &st); code != http.StatusOK {
+			t.Fatalf("canary alert get: %d", code)
+		}
+		if st.State != "firing" || st.Fires != 1 {
+			t.Errorf("canary alert = %+v, want firing with exactly 1 fire", st)
+		}
+	}
 	watchCancel()
 	watchWG.Wait()
+
+	// Alert-stream invariant: after deduplicating replays by event id,
+	// no alert ever fired twice without an intervening resolve. The
+	// canary never recovers, so its deduped sequence is at most one
+	// fired event (at most, not exactly: the one publish may be lost to
+	// exhausted retries like any other event — counted above, and the
+	// rule state check just before is the authoritative fire count).
+	watchMu.Lock()
+	for id, seq := range alertSeq {
+		firing := false
+		for _, typ := range seq {
+			if typ == eventbus.TypeAlertFired {
+				if firing {
+					t.Errorf("alert %s fired twice without a resolve: %v", id, seq)
+				}
+				firing = true
+			} else {
+				firing = false
+			}
+		}
+	}
+	canarySeq := append([]string(nil), alertSeq[canary.ID]...)
+	watchMu.Unlock()
+	if len(canarySeq) > 1 {
+		t.Errorf("canary alert event sequence = %v, want at most one fired", canarySeq)
+	}
+	t.Logf("canary alert events seen by healthy watcher: %v", canarySeq)
 
 	// Shutdown must drain cleanly while the schedule is still armed.
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
@@ -496,6 +595,7 @@ func chaosSoak(t *testing.T, dataDir string) {
 	for _, pk := range [][2]string{
 		{"scheduler.submit", "error"}, {"buildsys.install", "error"}, {"perfstore.read", "short"},
 		{"cbsched.tick", "error"}, {"eventbus.publish", "error"},
+		{"obs.sample", "error"}, {"obs.profilecapture", "error"},
 	} {
 		v, _ := reg.Value("faultinject_fired_total", pk[0], pk[1])
 		if v-classBefore[pk[0]+"|"+pk[1]] <= 0 {
@@ -534,16 +634,31 @@ func chaosSoak(t *testing.T, dataDir string) {
 		if v, _ := reg.Value("faultinject_fired_total", "perfstore.segwrite", "error"); v <= 0 {
 			t.Error("injected segment-write faults never fired during the tiered soak")
 		}
+		// No torn metrics-history file: every flush was atomic, so even
+		// with every second history write failing (including possibly
+		// the final shutdown flush) the on-disk snapshot parses
+		// wholesale and carries real samples from some successful flush.
+		series, samples, err := obs.LoadHistory(filepath.Join(dataDir, obs.HistoryFile))
+		if err != nil {
+			t.Fatalf("metrics history torn after soak: %v", err)
+		}
+		if len(series) == 0 || samples == 0 {
+			t.Errorf("metrics history empty after soak: %d series, %d samples", len(series), samples)
+		}
+		if v, _ := reg.Value("faultinject_fired_total", "obs.historywrite", "error"); v <= 0 {
+			t.Error("injected history-write faults never fired during the tiered soak")
+		}
 	}
 }
 
 // chaosWatchOnce runs one /v1/watch connection for the healthy soak
-// watcher: subscribe to run.finished (resuming from *lastID), feed each
-// run id to seen, and return when the stream breaks — from an injected
-// watchwrite fault, a write deadline, or shutdown — so the caller can
-// reconnect and replay.
-func chaosWatchOnce(ctx context.Context, base string, lastID *uint64, seen func(runID string)) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/watch?types=run.finished", nil)
+// watcher: subscribe to run.finished and the alert lifecycle (resuming
+// from *lastID), feed every event to onEvent, and return when the
+// stream breaks — from an injected watchwrite fault, a write deadline,
+// or shutdown — so the caller can reconnect and replay.
+func chaosWatchOnce(ctx context.Context, base string, lastID *uint64, onEvent func(ev eventbus.Event)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		base+"/v1/watch?types=run.finished,alert.fired,alert.resolved", nil)
 	if err != nil {
 		return err
 	}
@@ -577,9 +692,7 @@ func chaosWatchOnce(ctx context.Context, base string, lastID *uint64, seen func(
 			if ev.ID > *lastID {
 				*lastID = ev.ID
 			}
-			if ev.Type == eventbus.TypeRunFinished {
-				seen(ev.Data["run_id"])
-			}
+			onEvent(ev)
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -84,6 +84,13 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /v1/schedules", "/v1/schedules", s.handleListSchedules)
 	handle("GET /v1/schedules/{id}", "/v1/schedules/{id}", s.handleGetSchedule)
 	handle("DELETE /v1/schedules/{id}", "/v1/schedules/{id}", s.handleDeleteSchedule)
+	handle("POST /v1/alerts", "/v1/alerts", s.handleCreateAlert)
+	handle("GET /v1/alerts", "/v1/alerts", s.handleListAlerts)
+	handle("GET /v1/alerts/{id}", "/v1/alerts/{id}", s.handleGetAlert)
+	handle("DELETE /v1/alerts/{id}", "/v1/alerts/{id}", s.handleDeleteAlert)
+	handle("GET /v1/metrics/history", "/v1/metrics/history", s.handleMetricsHistory)
+	handle("GET /v1/profiles", "/v1/profiles", s.handleListProfiles)
+	handle("GET /v1/profiles/{id}", "/v1/profiles/{id}", s.handleGetProfile)
 	handle("GET /healthz", "/healthz", s.handleHealth)
 	handle("GET /metrics", "/metrics", s.handleMetrics)
 	inner := http.Handler(http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request timed out"}`))
@@ -480,6 +487,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		mode = "tiered"
 	}
 	schedules, fires, suppressed := s.sched.Counters()
+	ostats := s.obs.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":       status,
 		"uptime_s":     int(time.Since(s.started).Seconds()),
@@ -507,6 +515,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			"sealed_segments":       stats.SealedSegments,
 			"manifest_generation":   stats.ManifestGeneration,
 			"segment_load_failures": stats.SegmentLoadFailures,
+		},
+		"observability": map[string]any{
+			"series":            ostats.Series,
+			"samples":           ostats.Samples,
+			"sample_interval_s": s.obs.Interval().Seconds(),
+			"alert_rules":       ostats.Rules,
+			"alerts_firing":     ostats.Firing,
+			"profiles":          ostats.Profiles,
 		},
 	})
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eventbus"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/perflog"
 	"repro/internal/perfstore"
 	"repro/internal/retry"
@@ -108,6 +109,22 @@ type Config struct {
 	// RegressionWindow bounds the sliding baseline for post-run
 	// regression detection (default 5; <0 disables detection).
 	RegressionWindow int
+	// SampleInterval paces the self-observability sampler that records
+	// metric history and evaluates alert rules (default 10s).
+	SampleInterval time.Duration
+	// HistoryCapacity is the per-tier retained points per metric series
+	// (default 512).
+	HistoryCapacity int
+	// HistoryFlushEvery persists the metric-history file every N samples
+	// (default 30; <0 disables periodic flushes — the final flush on
+	// shutdown still runs).
+	HistoryFlushEvery int
+	// ProfileLimit bounds retained alert-triggered pprof artifacts
+	// (default 16).
+	ProfileLimit int
+	// ProfileCooldown rate-limits alert-triggered profile captures
+	// (default 1m).
+	ProfileCooldown time.Duration
 	// Logger receives structured run-lifecycle logs (default
 	// slog.Default).
 	Logger *slog.Logger
@@ -211,6 +228,7 @@ type Server struct {
 	cache  *queryCache
 	bus    *eventbus.Bus
 	sched  *cbsched.Scheduler
+	obs    *obs.Observer
 
 	// persistMu serializes schedule-registry saves (atomic replace of
 	// one file; concurrent savers must not interleave tmp writes).
@@ -309,6 +327,25 @@ func New(cfg Config) (*Server, error) {
 	if err := s.loadSchedules(); err != nil {
 		return nil, err
 	}
+	// The observer runs even degraded: a read-only daemon's health is
+	// exactly what an operator wants history and alerts on.
+	observer, err := obs.New(obs.Config{
+		Interval:        cfg.SampleInterval,
+		RawCapacity:     cfg.HistoryCapacity,
+		FlushEvery:      cfg.HistoryFlushEvery,
+		DataDir:         cfg.DataDir,
+		ProfileLimit:    cfg.ProfileLimit,
+		ProfileCooldown: cfg.ProfileCooldown,
+		Publish:         s.publish,
+		Logger:          cfg.Logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.obs = observer
+	if err := s.loadAlerts(); err != nil {
+		return nil, err
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -322,8 +359,13 @@ func New(cfg Config) (*Server, error) {
 	if !degraded {
 		s.sched.Start()
 	}
+	s.obs.Start()
 	return s, nil
 }
+
+// Obs exposes the self-observability subsystem (tests drive Sample
+// directly through it).
+func (s *Server) Obs() *obs.Observer { return s.obs }
 
 // Bus exposes the event bus so harnesses (the chaos suite, the CLI
 // process embedding a daemon) can subscribe directly.
@@ -711,11 +753,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-done:
 	case <-ctx.Done():
 		// Even on a deadline we still terminate streams: subscribers get
-		// the terminal event (or ErrClosed) instead of hanging.
+		// the terminal event (or ErrClosed) instead of hanging. Firing
+		// alerts resolve first so no watcher's last view of an alert is a
+		// dangling fire.
+		s.obs.ResolveFiring(obs.ResolveShutdown)
+		s.obs.Stop()
 		s.publish(eventbus.TypeServerShutdown, nil)
 		s.bus.Close()
 		return ctx.Err()
 	}
+	// The sampler stops — flushing its final history snapshot — before
+	// the final seal, so the persisted history covers the daemon's whole
+	// life including the drain it just finished observing.
+	s.obs.Stop()
 	if s.cfg.DataDir != "" && !s.degraded {
 		if n, err := s.store.Seal(); err != nil {
 			// The perflog tree still holds everything unsealed; the next
@@ -728,6 +778,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 				"entries": fmt.Sprint(n), "reason": "shutdown",
 			})
 		}
+	}
+	// Still-firing alerts resolve (reason shutdown) before the terminal
+	// event, so a watcher replaying the stream sees every fire matched by
+	// a resolve — shutdown is not an outage that leaves alerts dangling.
+	if n := s.obs.ResolveFiring(obs.ResolveShutdown); n > 0 {
+		s.cfg.Logger.Info("firing alerts resolved by shutdown", "count", n)
 	}
 	s.publish(eventbus.TypeServerShutdown, nil)
 	s.bus.Close()

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"sort"
+	"strings"
+)
+
+// The snapshot half of the metrics API: a typed, allocation-light view
+// of every registered series, so in-process consumers (the obs sampler)
+// read values directly instead of re-parsing the Prometheus text
+// exposition. Snapshot never mutates the registry and creates no
+// series; the exposition output is untouched by its existence.
+
+// Sample kinds. Histograms are decomposed into two counter samples
+// (<name>_count and <name>_sum) rather than per-bucket series, so the
+// sampler's cardinality stays bounded by the family count, not the
+// bucket count.
+const (
+	SampleCounter = "counter"
+	SampleGauge   = "gauge"
+)
+
+// Sample is one (name, label values) series at one instant.
+type Sample struct {
+	Name   string   // family name (histograms: name_count / name_sum)
+	Labels []string // label names, in registration order
+	Values []string // label values, parallel to Labels
+	Kind   string   // SampleCounter or SampleGauge
+	Value  float64
+}
+
+// Key renders the canonical series identity — the same
+// name{label="value",...} string the exposition format uses — which is
+// what history stores and alert rules match on. Unlabelled series are
+// just the bare name.
+func (s Sample) Key() string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	return s.Name + labelString(s.Labels, s.Values, "", "")
+}
+
+// Snapshot returns the current value of every registered series,
+// sorted by Key: counters and gauges as themselves, histograms as a
+// _count (observations) and _sum (sum of observations) counter pair.
+// It reads under the same locks as rendering, so a snapshot is
+// internally consistent per family.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	var out []Sample
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := append([]string(nil), f.keys...)
+		series := make([]any, len(keys))
+		for i, k := range keys {
+			series[i] = f.series[k]
+		}
+		f.mu.Unlock()
+		for i, key := range keys {
+			values := strings.Split(key, labelSep)
+			if key == "" {
+				values = nil
+			}
+			switch m := series[i].(type) {
+			case *Counter:
+				out = append(out, Sample{Name: f.name, Labels: f.labels, Values: values,
+					Kind: SampleCounter, Value: m.Value()})
+			case *Gauge:
+				out = append(out, Sample{Name: f.name, Labels: f.labels, Values: values,
+					Kind: SampleGauge, Value: m.Value()})
+			case *Histogram:
+				out = append(out, Sample{Name: f.name + "_count", Labels: f.labels, Values: values,
+					Kind: SampleCounter, Value: float64(m.Count())})
+				out = append(out, Sample{Name: f.name + "_sum", Labels: f.labels, Values: values,
+					Kind: SampleCounter, Value: m.Sum()})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}

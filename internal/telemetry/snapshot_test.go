@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSnapshotTypedSamples: every registered series shows up once with
+// its kind, labels, and current value; histograms decompose into a
+// _count/_sum counter pair.
+func TestSnapshotTypedSamples(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total", "jobs", "status").With("ok").Add(3)
+	r.Counter("jobs_total", "jobs", "status").With("failed").Inc()
+	r.Gauge("depth", "queue depth").With().Set(7)
+	h := r.Histogram("latency_seconds", "latency", nil, "route")
+	h.With("/v1/runs").Observe(0.25)
+	h.With("/v1/runs").Observe(0.75)
+
+	samples := r.Snapshot()
+	byKey := map[string]Sample{}
+	for _, s := range samples {
+		if _, dup := byKey[s.Key()]; dup {
+			t.Fatalf("duplicate sample key %q", s.Key())
+		}
+		byKey[s.Key()] = s
+	}
+	want := []struct {
+		key   string
+		kind  string
+		value float64
+	}{
+		{`jobs_total{status="ok"}`, SampleCounter, 3},
+		{`jobs_total{status="failed"}`, SampleCounter, 1},
+		{`depth`, SampleGauge, 7},
+		{`latency_seconds_count{route="/v1/runs"}`, SampleCounter, 2},
+		{`latency_seconds_sum{route="/v1/runs"}`, SampleCounter, 1},
+	}
+	if len(samples) != len(want) {
+		t.Fatalf("%d samples, want %d: %v", len(samples), len(want), keysOf(samples))
+	}
+	for _, w := range want {
+		s, ok := byKey[w.key]
+		if !ok {
+			t.Errorf("missing sample %q (have %v)", w.key, keysOf(samples))
+			continue
+		}
+		if s.Kind != w.kind || s.Value != w.value {
+			t.Errorf("%s: kind=%s value=%g, want %s/%g", w.key, s.Kind, s.Value, w.kind, w.value)
+		}
+	}
+	// Sorted by key, so history files and diffs are stable.
+	for i := 1; i < len(samples); i++ {
+		if samples[i-1].Key() >= samples[i].Key() {
+			t.Fatalf("samples not sorted: %q before %q", samples[i-1].Key(), samples[i].Key())
+		}
+	}
+}
+
+func keysOf(samples []Sample) []string {
+	out := make([]string, len(samples))
+	for i, s := range samples {
+		out[i] = s.Key()
+	}
+	return out
+}
+
+// TestSnapshotLeavesExpositionIdentical: taking snapshots must not
+// perturb the Prometheus text rendering — no new series, no reordering,
+// byte-identical output.
+func TestSnapshotLeavesExpositionIdentical(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a", "k").With("x").Add(2)
+	r.Gauge("b", "b").With().Set(1.5)
+	r.Histogram("c_seconds", "c", []float64{0.1, 1}, "r").With("q").Observe(0.5)
+
+	var before bytes.Buffer
+	r.WritePrometheus(&before)
+	for i := 0; i < 3; i++ {
+		if got := r.Snapshot(); len(got) == 0 {
+			t.Fatal("empty snapshot")
+		}
+	}
+	var after bytes.Buffer
+	r.WritePrometheus(&after)
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatalf("exposition changed after Snapshot:\n--- before\n%s\n--- after\n%s", before.String(), after.String())
+	}
+}
+
+// TestSnapshotKeyMatchesExposition: the Key() rendering is exactly the
+// series identity the exposition format prints, so alert rules and
+// /v1/metrics/history names can be copied from /metrics output.
+func TestSnapshotKeyMatchesExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x", "a", "b").With(`va"l`, "v2").Inc()
+	samples := r.Snapshot()
+	if len(samples) != 1 {
+		t.Fatalf("%d samples", len(samples))
+	}
+	key := samples[0].Key()
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte(key)) {
+		t.Fatalf("exposition does not contain key %q:\n%s", key, buf.String())
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/dataframe"
 	"repro/internal/fom"
 	"repro/internal/machine"
+	"repro/internal/perflog"
 	"repro/internal/postprocess"
 	"repro/internal/suite"
 	"repro/internal/telemetry"
@@ -52,6 +53,8 @@ func run(args []string) error {
 		return cmdRun(args[1:], true)
 	case "survey":
 		return cmdSurvey(args[1:])
+	case "validate":
+		return cmdValidate(args[1:])
 	case "watch":
 		return cmdWatch(args[1:])
 	case "top":
@@ -72,6 +75,10 @@ func usage() {
   benchctl run    -b <benchmark> --system <sys[,sys...]> [flags]
   benchctl script -b <benchmark> --system <sys[:partition]> [flags]
   benchctl survey --system <sys[,sys...]>   BabelStream all-models survey (Figure 2)
+  benchctl validate -b <benchmark> --system <sys[,sys...]> [-S spec] [--tree DIR]
+                                            pre-flight check: every installed
+                                            prefix the run would reuse still
+                                            matches the concretized spec
   benchctl watch  [--addr URL] [--types t1,t2] [--json] [--count N]
                                             stream benchd events (SSE) live
   benchctl top    [--addr URL] [--refresh D] [--once]
@@ -85,6 +92,10 @@ flags for run/script:
   --tasks-per-node N   override num_tasks_per_node
   --cpus-per-task N    override num_cpus_per_task
   --account A          override the scheduler account
+  --repetitions N      measured repetitions per run (default 1); N >= 2
+                       records mean/stddev/RSD and a bootstrap 95% CI
+  --warmup N           additional warm-up executions discarded before
+                       the measured repetitions (default 0)
   --perflog DIR        perflog root (default ./perflogs)
   --tree DIR           install tree (default ./install)
   --no-rebuild         reuse cached builds (disables Principle 3)
@@ -102,6 +113,8 @@ func cmdRun(args []string, scriptOnly bool) error {
 	tasksPerNode := fs.Int("tasks-per-node", 0, "num_tasks_per_node override")
 	cpusPerTask := fs.Int("cpus-per-task", 0, "num_cpus_per_task override")
 	account := fs.String("account", "", "scheduler account override")
+	repetitions := fs.Int("repetitions", 0, "measured repetitions per run")
+	warmup := fs.Int("warmup", 0, "warm-up executions to discard")
 	perflogRoot := fs.String("perflog", "perflogs", "perflog root directory")
 	tree := fs.String("tree", "install", "install tree directory")
 	noRebuild := fs.Bool("no-rebuild", false, "reuse cached builds")
@@ -155,6 +168,8 @@ func cmdRun(args []string, scriptOnly bool) error {
 			TasksPerNode: *tasksPerNode,
 			CPUsPerTask:  *cpusPerTask,
 			Account:      *account,
+			Repetitions:  *repetitions,
+			Warmup:       *warmup,
 		})
 		if err != nil {
 			errs = append(errs, fmt.Errorf("%s on %s: %w", b.Name(), target, err))
@@ -191,6 +206,18 @@ func cmdRun(args []string, scriptOnly bool) error {
 			continue
 		}
 		fmt.Print("figures of merit:\n" + indent(fom.Table(report.FOMs)))
+		if report.Repetitions > 1 && report.Entry != nil {
+			fmt.Printf("repetitions: %d measured", report.Repetitions)
+			if report.Warmup > 0 {
+				fmt.Printf(" (+%d warm-up discarded)", report.Warmup)
+			}
+			fmt.Println()
+			for _, name := range report.Entry.RepFOMs() {
+				if st, ok := report.Entry.RepStats(name); ok {
+					fmt.Printf("  %-16s %s\n", name, perflog.FormatRepStats(st))
+				}
+			}
+		}
 	}
 	if !scriptOnly {
 		fmt.Printf("perflog:   %s\n", *perflogRoot)
@@ -221,6 +248,55 @@ func cmdList() error {
 		fmt.Printf("  %-18s %s\n", n, strings.Join(parts, "; "))
 	}
 	return nil
+}
+
+// cmdValidate is the pre-flight check as a standalone command: for each
+// target system, concretize the benchmark's spec and verify every
+// installed prefix the build would consult still matches it — the same
+// buildsys.Validate walk benchd runs before accepting POST /v1/runs.
+// Exits non-zero when any target has a stale binary, so it slots into CI
+// ahead of expensive runs.
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	bench := fs.String("b", "", "benchmark name")
+	system := fs.String("system", "", "target system[:partition][,more...]")
+	specText := fs.String("S", "", "build spec override")
+	tree := fs.String("tree", "install", "install tree directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *bench == "" || *system == "" {
+		return fmt.Errorf("both -b and --system are required")
+	}
+	b, err := suite.ByName(*bench)
+	if err != nil {
+		return err
+	}
+	specOverride := *specText
+	if specOverride != "" {
+		specOverride, err = suite.NormalizeModelSpec(specOverride)
+		if err != nil {
+			return err
+		}
+	}
+	runner := core.New(*tree, "")
+	var errs []error
+	for _, target := range strings.Split(*system, ",") {
+		target = strings.TrimSpace(target)
+		err := runner.Preflight(b, core.Options{System: target, Spec: specOverride})
+		var stale *buildsys.StaleBinaryError
+		switch {
+		case err == nil:
+			fmt.Printf("%-24s ok\n", target)
+		case errors.As(err, &stale):
+			fmt.Printf("%-24s STALE  %s: %s (want %s, have %q)\n",
+				target, stale.Package, stale.Reason, stale.WantHash, stale.GotHash)
+			errs = append(errs, fmt.Errorf("%s: %w", target, err))
+		default:
+			return fmt.Errorf("%s: %w", target, err)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // cmdSurvey reproduces the Figure 2 survey through the full pipeline:

@@ -85,6 +85,7 @@ func run(args []string) error {
 	heartbeat := fs.Duration("heartbeat", 15*time.Second, "/v1/watch keepalive interval")
 	regressTol := fs.Float64("regress-tolerance", 0.10, "fractional drop flagged after scheduled runs")
 	regressWindow := fs.Int("regress-window", 5, "sliding baseline window for post-run regression detection (<0 disables)")
+	rsdGate := fs.Float64("rsd-gate", 0, "relative-stddev above which a repetition set is 'unstable' and excluded from baselines (0 = default 0.10, <0 disables)")
 	sampleInterval := fs.Duration("sample-interval", 10*time.Second, "self-observability metric sampling interval")
 	historyCap := fs.Int("history-capacity", 512, "retained points per metric series per resolution tier")
 	profileLimit := fs.Int("profile-limit", 16, "retained alert-triggered pprof artifacts")
@@ -148,6 +149,7 @@ func run(args []string) error {
 		HeartbeatInterval:   *heartbeat,
 		RegressionTolerance: *regressTol,
 		RegressionWindow:    *regressWindow,
+		RSDGate:             *rsdGate,
 
 		SampleInterval:  *sampleInterval,
 		HistoryCapacity: *historyCap,

@@ -61,6 +61,9 @@ func usage() {
   perfplot csv     --perflog DIR --out FILE          export the frame as CSV
   perfplot regress --perflog DIR --fom COL           flag performance regressions
                    [--group cols] [--tolerance 0.1] [--window N]
+                   [--rsd-gate R]                    repetition sets with RSD > R print
+                                                     as UNSTABLE and are excluded from
+                                                     baselines (0 = default 0.10)
 `)
 }
 
@@ -208,6 +211,7 @@ func cmdRegress(args []string) error {
 	group := fs.String("group", "system,benchmark", "comma-separated grouping columns")
 	tolerance := fs.Float64("tolerance", 0.10, "fractional drop that counts as a regression")
 	window := fs.Int("window", 0, "sliding baseline size in runs (0 = all earlier runs)")
+	rsdGate := fs.Float64("rsd-gate", 0, "RSD above which a repetition set is 'unstable' (0 = default 0.10, <0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -218,6 +222,7 @@ func cmdRegress(args []string) error {
 	if err != nil {
 		return err
 	}
+	store.RSDGate = *rsdGate
 	reports, err := store.Regressions(perfstore.Query{
 		FOM:     *fomCol,
 		GroupBy: strings.Split(*group, ","),
@@ -232,8 +237,23 @@ func cmdRegress(args []string) error {
 			marker = "REGRESSED"
 			anyFlagged = true
 		}
-		fmt.Printf("%-9s %-40s baseline %.3f -> latest %.3f (%+.1f%%)\n",
-			marker, r.Group, r.Baseline, r.Latest, r.Change*100)
+		switch r.Method {
+		case perfstore.MethodVariance:
+			// Variance-gated: the latest repetition set is too noisy to
+			// judge — surfaced, never flagged, never an error exit (noise
+			// is an instrumentation problem, not a regression).
+			fmt.Printf("%-9s %-40s latest %.3f rsd %.1f%% (n=%d) too noisy to judge\n",
+				"UNSTABLE", r.Group, r.Latest, r.LatestRSD*100, r.LatestN)
+		case perfstore.MethodCI:
+			fmt.Printf("%-9s %-40s baseline %.3f [%.3f, %.3f] -> latest %.3f [%.3f, %.3f] n=%d (%+.1f%%)\n",
+				marker, r.Group, r.Baseline, r.BaselineLo, r.BaselineHi,
+				r.Latest, r.LatestLo, r.LatestHi, r.LatestN, r.Change*100)
+		default:
+			// Tolerance fallback: byte-for-byte the pre-repetition row, so
+			// existing pipelines scraping this output see no change.
+			fmt.Printf("%-9s %-40s baseline %.3f -> latest %.3f (%+.1f%%)\n",
+				marker, r.Group, r.Baseline, r.Latest, r.Change*100)
+		}
 	}
 	if anyFlagged {
 		return fmt.Errorf("performance regressions detected")

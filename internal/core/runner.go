@@ -4,13 +4,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"log/slog"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"repro/internal/buildsys"
 	"repro/internal/concretize"
 	"repro/internal/env"
+	"repro/internal/faultinject"
 	"repro/internal/fom"
 	"repro/internal/launcher"
 	"repro/internal/machine"
@@ -19,6 +22,7 @@ import (
 	"repro/internal/retry"
 	"repro/internal/scheduler"
 	"repro/internal/spec"
+	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
 
@@ -114,10 +118,36 @@ func (r *Runner) RunContext(ctx context.Context, b Benchmark, opts Options) (rep
 		})
 		span.End(serr)
 		d := span.Duration().Seconds()
-		stageSeconds[name] = d
+		// Accumulate, not overwrite: the schedule and extract stages run
+		// once per repetition and their extras report the run's total.
+		stageSeconds[name] += d
 		metricStageSeconds.With(name).Observe(d)
 		return serr
 	}
+
+	// Effective repetition protocol: per-run options override the
+	// runner's defaults; the zero protocol is one execution, exactly the
+	// pre-repetition pipeline.
+	reps := opts.Repetitions
+	if reps <= 0 {
+		reps = r.Repetitions
+	}
+	if reps <= 0 {
+		reps = 1
+	}
+	warmup := opts.Warmup
+	if warmup <= 0 {
+		warmup = r.WarmupDiscard
+	}
+	if warmup < 0 {
+		warmup = 0
+	}
+	if err := stats.ValidateProtocol(reps, warmup); err != nil {
+		return nil, err
+	}
+	total := warmup + reps
+	report.Repetitions = reps
+	report.Warmup = warmup
 
 	// 1. Resolve the platform.
 	var sys *platform.System
@@ -222,47 +252,90 @@ func (r *Runner) RunContext(ctx context.Context, b Benchmark, opts Options) (rep
 		Commands:     []string{launch.Command(layout, exePath, b.Args())},
 	}
 
-	// 5. Schedule and execute. The span's wall time covers submission
-	// through completion; the queue/execute split below comes from the
-	// scheduler's own job accounting (real seconds on the local
-	// scheduler, simulated seconds on the batch simulators).
+	// 5. Schedule and execute, once per repetition (warm-ups included).
+	// The span's wall time covers submission through completion; the
+	// queue/execute split below comes from the scheduler's own job
+	// accounting (real seconds on the local scheduler, simulated seconds
+	// on the batch simulators). Each repetition is a full
+	// schedule+extract cycle; a failure in repetition k is retried at
+	// stage level (re-running only repetition k) and, if retries
+	// exhaust, fails the whole run before anything is appended — a
+	// partial repetition set is never persisted.
 	var info *scheduler.Info
-	if err := stage("schedule", true, func(sctx context.Context) error {
-		sched, serr := r.schedulerFor(sys, part, b, conc.Spec, layout)
-		if serr != nil {
-			return serr
+	repFOMs := make([]map[string]fom.Value, 0, total)
+	var runErrMsg string
+	for k := 0; k < total && runErrMsg == ""; k++ {
+		rep := k
+		if err := stage("schedule", true, func(sctx context.Context) error {
+			if total > 1 {
+				if ferr := faultinject.FireContext(sctx, "core.repetition"); ferr != nil {
+					return fmt.Errorf("core: repetition %d/%d: %w", rep+1, total, ferr)
+				}
+			}
+			sched, serr := r.schedulerFor(sys, part, b, conc.Spec, layout, rep)
+			if serr != nil {
+				return serr
+			}
+			report.JobScript = sched.Script(job)
+			id, serr := sched.Submit(job)
+			if serr != nil {
+				return serr
+			}
+			info, serr = sched.Wait(id)
+			if serr != nil {
+				return serr
+			}
+			if span := telemetry.FromContext(sctx); span != nil {
+				span.SetAttr("job_id", fmt.Sprint(info.ID))
+				span.SetAttr("state", info.State.String())
+				if total > 1 {
+					span.SetAttr("repetition", fmt.Sprintf("%d/%d", rep+1, total))
+				}
+			}
+			slog.Default().DebugContext(sctx, "job finished",
+				"job_id", info.ID, "state", info.State.String(),
+				"queue_s", info.QueueWait(), "runtime_s", info.Runtime())
+			return nil
+		}); err != nil {
+			return nil, err
 		}
-		report.JobScript = sched.Script(job)
-		id, serr := sched.Submit(job)
-		if serr != nil {
-			return serr
+		report.Job = info
+		if q := info.QueueWait(); q >= 0 {
+			stageSeconds["queue"] += q
+			metricStageSeconds.With("queue").Observe(q)
 		}
-		info, serr = sched.Wait(id)
-		if serr != nil {
-			return serr
+		if rt := info.Runtime(); rt >= 0 {
+			stageSeconds["execute"] += rt
+			metricStageSeconds.With("execute").Observe(rt)
 		}
-		if span := telemetry.FromContext(sctx); span != nil {
-			span.SetAttr("job_id", fmt.Sprint(info.ID))
-			span.SetAttr("state", info.State.String())
+
+		// 6. Sanity and FOM extraction (Principle 6) for this repetition.
+		// Any repetition failing sanity fails the run: a mean over a set
+		// that silently dropped members would misreport n.
+		if err := stage("extract", true, func(context.Context) error {
+			if info.State != scheduler.Completed {
+				runErrMsg = fmt.Sprintf("job state %s: %s", info.State, info.Stderr)
+				return nil
+			}
+			if serr := b.Sanity().Check(info.Stdout); serr != nil {
+				runErrMsg = serr.Error()
+				return nil
+			}
+			foms, ferr := fom.Extract(info.Stdout, b.PerfPatterns())
+			if ferr != nil {
+				runErrMsg = ferr.Error()
+				return nil
+			}
+			repFOMs = append(repFOMs, foms)
+			return nil
+		}); err != nil {
+			return nil, err
 		}
-		slog.Default().DebugContext(sctx, "job finished",
-			"job_id", info.ID, "state", info.State.String(),
-			"queue_s", info.QueueWait(), "runtime_s", info.Runtime())
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	report.Job = info
-	if q := info.QueueWait(); q >= 0 {
-		stageSeconds["queue"] = q
-		metricStageSeconds.With("queue").Observe(q)
-	}
-	if rt := info.Runtime(); rt >= 0 {
-		stageSeconds["execute"] = rt
-		metricStageSeconds.With("execute").Observe(rt)
 	}
 
-	// 6. Sanity and FOM extraction (Principle 6), then the perflog.
+	// 7. Assemble the perflog entry from the repetition results. Job
+	// accounting fields come from the final repetition's job, matching
+	// the single-execution entry shape exactly.
 	entry := &perflog.Entry{
 		Time:      now(),
 		Benchmark: b.Name(),
@@ -291,25 +364,32 @@ func (r *Runner) RunContext(ctx context.Context, b Benchmark, opts Options) (rep
 		},
 	}
 	report.Entry = entry
-	if err := stage("extract", true, func(context.Context) error {
-		if info.State != scheduler.Completed {
-			entry.Extra["error"] = fmt.Sprintf("job state %s: %s", info.State, info.Stderr)
-			return nil
-		}
-		if serr := b.Sanity().Check(info.Stdout); serr != nil {
-			entry.Extra["error"] = serr.Error()
-			return nil
-		}
-		foms, ferr := fom.Extract(info.Stdout, b.PerfPatterns())
-		if ferr != nil {
-			entry.Extra["error"] = ferr.Error()
-			return nil
+	if total > 1 {
+		entry.Extra["repetitions"] = fmt.Sprint(reps)
+		entry.Extra["warmup_discarded"] = fmt.Sprint(warmup)
+	}
+	switch {
+	case runErrMsg != "":
+		entry.Extra["error"] = runErrMsg
+	default:
+		measured := repFOMs[warmup:]
+		foms, series, aerr := aggregateRepetitions(measured, r.statSeed(sys.Name, b.Name(), conc.Spec))
+		if aerr != nil {
+			entry.Extra["error"] = aerr.Error()
+			break
 		}
 		entry.FOMs = foms
 		entry.Result = "pass"
-		return nil
-	}); err != nil {
-		return nil, err
+		if len(measured) > 1 {
+			report.RepSeries = series
+			for name, vals := range series {
+				s := stats.Summarize(vals, 0, 0, r.statSeed(sys.Name, b.Name(), conc.Spec))
+				entry.SetRepStats(name, perflog.RepStats{
+					N: s.N, Mean: s.Mean, Stddev: s.Stddev, RSD: s.RSD,
+					CILo: s.CILo, CIHi: s.CIHi,
+				})
+			}
+		}
 	}
 	report.FOMs = entry.FOMs
 
@@ -330,9 +410,89 @@ func (r *Runner) RunContext(ctx context.Context, b Benchmark, opts Options) (rep
 	return report, nil
 }
 
+// aggregateRepetitions reduces the measured repetitions' FOM maps to one
+// FOM map (the mean when several repetitions measured) plus the per-FOM
+// value series. Every measured repetition must report the same FOM set —
+// a FOM appearing in some repetitions but not others means the runs were
+// not comparable, which fails the run rather than misreporting n.
+func aggregateRepetitions(measured []map[string]fom.Value, seed uint64) (map[string]fom.Value, map[string][]float64, error) {
+	if len(measured) == 0 {
+		return nil, nil, fmt.Errorf("core: no measured repetitions")
+	}
+	if len(measured) == 1 {
+		return measured[0], nil, nil
+	}
+	first := measured[0]
+	names := make([]string, 0, len(first))
+	for name := range first {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	foms := make(map[string]fom.Value, len(first))
+	series := make(map[string][]float64, len(first))
+	for _, name := range names {
+		vals := make([]float64, 0, len(measured))
+		for i, m := range measured {
+			v, present := m[name]
+			if !present {
+				return nil, nil, fmt.Errorf("core: fom %s missing from repetition %d", name, i+1)
+			}
+			vals = append(vals, v.Value)
+		}
+		s := stats.Summarize(vals, 0, 0, seed)
+		foms[name] = fom.Value{Name: first[name].Name, Value: s.Mean, Unit: first[name].Unit}
+		series[name] = vals
+	}
+	for i, m := range measured {
+		if len(m) != len(first) {
+			return nil, nil, fmt.Errorf("core: repetition %d reported %d foms, first reported %d", i+1, len(m), len(first))
+		}
+	}
+	return foms, series, nil
+}
+
+// statSeed derives the deterministic bootstrap seed for a run: the same
+// benchmark, system, and concrete spec always get the same intervals,
+// keeping perflog lines reproducible artifacts.
+func (r *Runner) statSeed(system, benchmark string, concrete *spec.Spec) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(system))
+	h.Write([]byte{'|'})
+	h.Write([]byte(benchmark))
+	h.Write([]byte{'|'})
+	if concrete != nil {
+		h.Write([]byte(concrete.RootString()))
+	}
+	return h.Sum64()
+}
+
+// repJitter derives the deterministic per-repetition perturbation on the
+// system factor, standing in for the run-to-run noise a real machine
+// shows between identical submissions (same spirit as machine's
+// per-result jitter). Repetition 0 is unperturbed so single-execution
+// runs — and the first repetition — reproduce pre-repetition outputs
+// bit-for-bit.
+func repJitter(system, benchmark string, rep int) float64 {
+	if rep == 0 {
+		return 1
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|rep%d", system, benchmark, rep)
+	// FNV's multiplier is only ~2^40, so inputs differing in the final
+	// byte (adjacent rep numbers) barely move the top bits; finalize
+	// with a splitmix64-style mix so consecutive reps get independent
+	// factors instead of near-identical ones.
+	z := h.Sum64()
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	u := float64(z>>11) / (1 << 53)
+	return 0.99 + 0.02*u // ±1%
+}
+
 // schedulerFor builds the scheduler for a partition, wiring the
-// benchmark's Execute as the job payload.
-func (r *Runner) schedulerFor(sys *platform.System, part *platform.Partition, b Benchmark, concrete *spec.Spec, layout launcher.Layout) (scheduler.Scheduler, error) {
+// benchmark's Execute as the job payload for one repetition.
+func (r *Runner) schedulerFor(sys *platform.System, part *platform.Partition, b Benchmark, concrete *spec.Spec, layout launcher.Layout, rep int) (scheduler.Scheduler, error) {
 	exec := func(job *scheduler.Job, nodes []string) scheduler.Result {
 		// The per-system software factor captures MPI-stack and
 		// toolchain quirks that bite multi-node runs (paper §3.3);
@@ -341,6 +501,7 @@ func (r *Runner) schedulerFor(sys *platform.System, part *platform.Partition, b 
 		if len(nodes) > 1 {
 			factor = machine.SystemFactor(sys.Name)
 		}
+		factor *= repJitter(sys.Name, b.Name(), rep)
 		ctx := &RunContext{
 			System:       sys,
 			Partition:    part,
@@ -348,6 +509,7 @@ func (r *Runner) schedulerFor(sys *platform.System, part *platform.Partition, b 
 			Layout:       layout,
 			Nodes:        nodes,
 			SystemFactor: factor,
+			Repetition:   rep,
 			Local:        part.Scheduler == "local",
 		}
 		stdout, elapsed, err := b.Execute(ctx)
@@ -369,6 +531,42 @@ func (r *Runner) schedulerFor(sys *platform.System, part *platform.Partition, b 
 	default:
 		return nil, fmt.Errorf("core: partition %s uses unknown scheduler %q", part.Name, part.Scheduler)
 	}
+}
+
+// Preflight validates a run request without executing it: the system
+// must resolve, the spec must concretize, and every already-installed
+// prefix the build cache would consult must match the concretized spec
+// (buildsys.Validate). A *buildsys.StaleBinaryError means a binary on
+// disk can no longer be tied to the spec that would claim it — the
+// stale-binary postmortem the validation protocol exists to prevent.
+func (r *Runner) Preflight(b Benchmark, opts Options) error {
+	if b == nil {
+		return fmt.Errorf("core: nil benchmark")
+	}
+	if opts.System == "" {
+		return fmt.Errorf("core: no target system")
+	}
+	sys, part, err := r.Estate.Resolve(opts.System)
+	if err != nil {
+		return err
+	}
+	specText := b.BuildSpec()
+	if opts.Spec != "" {
+		specText = opts.Spec
+	}
+	abstract, err := spec.Parse(specText)
+	if err != nil {
+		return err
+	}
+	cfg := r.Envs.ForSystem(sys.Name)
+	conc, err := concretize.Concretize(abstract, cfg.ConcretizeOptions(r.Repo, string(part.Processor.Arch)))
+	if err != nil {
+		return err
+	}
+	if r.InstallTree == "" {
+		return nil
+	}
+	return buildsys.Validate(r.InstallTree, conc.Spec)
 }
 
 // RunMany runs the benchmark across several systems, returning one

@@ -1,0 +1,113 @@
+package perflog
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// RepStats is the per-FOM repetition aggregate carried in perflog extras.
+// It mirrors stats.Summary but lives here so perfstore and perfplot can
+// decode entries without importing the stats package.
+type RepStats struct {
+	N      int     // measured repetitions contributing to the aggregate
+	Mean   float64 // mean of measured repetitions
+	Stddev float64 // sample standard deviation (n-1)
+	RSD    float64 // |stddev/mean|, the variance-gate input
+	CILo   float64 // bootstrap CI lower bound on the mean
+	CIHi   float64 // bootstrap CI upper bound on the mean
+}
+
+// Repetition extras ride in Entry.Extra under "rep:<fom>:<field>" keys so
+// the line format — and every pre-repetition consumer — is unchanged. A
+// pre-PR line simply has none of these keys and decodes to (zero, false).
+const repPrefix = "rep:"
+
+var repFields = [...]string{"n", "mean", "stddev", "rsd", "ci_lo", "ci_hi"}
+
+func repKey(fomName, field string) string {
+	return repPrefix + fomName + ":" + field
+}
+
+func formatRepFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// SetRepStats records the repetition aggregate for one FOM in the entry's
+// extras. FOM names containing the extras reserved characters ('=', '|',
+// newline) are rejected by Line() downstream exactly as for any extra key.
+func (e *Entry) SetRepStats(fomName string, s RepStats) {
+	if e.Extra == nil {
+		e.Extra = map[string]string{}
+	}
+	e.Extra[repKey(fomName, "n")] = strconv.Itoa(s.N)
+	e.Extra[repKey(fomName, "mean")] = formatRepFloat(s.Mean)
+	e.Extra[repKey(fomName, "stddev")] = formatRepFloat(s.Stddev)
+	e.Extra[repKey(fomName, "rsd")] = formatRepFloat(s.RSD)
+	e.Extra[repKey(fomName, "ci_lo")] = formatRepFloat(s.CILo)
+	e.Extra[repKey(fomName, "ci_hi")] = formatRepFloat(s.CIHi)
+}
+
+// RepStats decodes the repetition aggregate for one FOM. ok is false when
+// the entry predates the repetition protocol (no rep extras) or the extras
+// are malformed — callers then fall back to the single-point value.
+func (e *Entry) RepStats(fomName string) (RepStats, bool) {
+	if e.Extra == nil {
+		return RepStats{}, false
+	}
+	nStr, present := e.Extra[repKey(fomName, "n")]
+	if !present {
+		return RepStats{}, false
+	}
+	n, err := strconv.Atoi(nStr)
+	if err != nil || n < 1 {
+		return RepStats{}, false
+	}
+	s := RepStats{N: n}
+	for _, field := range repFields[1:] {
+		raw, present := e.Extra[repKey(fomName, field)]
+		if !present {
+			return RepStats{}, false
+		}
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return RepStats{}, false
+		}
+		switch field {
+		case "mean":
+			s.Mean = v
+		case "stddev":
+			s.Stddev = v
+		case "rsd":
+			s.RSD = v
+		case "ci_lo":
+			s.CILo = v
+		case "ci_hi":
+			s.CIHi = v
+		}
+	}
+	return s, true
+}
+
+// RepFOMs lists the FOM names that carry repetition extras, in map order.
+func (e *Entry) RepFOMs() []string {
+	var names []string
+	for k := range e.Extra {
+		if !strings.HasPrefix(k, repPrefix) || !strings.HasSuffix(k, ":n") {
+			continue
+		}
+		name := strings.TrimSuffix(strings.TrimPrefix(k, repPrefix), ":n")
+		if name != "" {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FormatRepStats renders the aggregate for human-facing tables:
+// "mean ± stddev [ci_lo, ci_hi] n=N".
+func FormatRepStats(s RepStats) string {
+	return fmt.Sprintf("%.3f ± %.3f [%.3f, %.3f] n=%d", s.Mean, s.Stddev, s.CILo, s.CIHi, s.N)
+}

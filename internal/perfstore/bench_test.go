@@ -101,7 +101,7 @@ func BenchmarkStoreAggregate(b *testing.B) {
 	b.Run("scan", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			aggs := aggregateEntries(s.selectScan(q), q.GroupBy, q.FOM)
+			aggs := aggregateEntries(s.selectScan(q), q.GroupBy, q.FOM, s.rsdGate())
 			if len(aggs) == 0 {
 				b.Fatal("no groups")
 			}

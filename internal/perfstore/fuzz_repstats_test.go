@@ -1,0 +1,57 @@
+package perfstore
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/perflog"
+)
+
+// FuzzRepetitionExtras round-trips repetition statistics through the full
+// persistence path: encode onto an entry, append to a perflog tree,
+// ingest through the store, Select — the recovered stats must be
+// identical. NaN and ±Inf are legal float64s the 'g' encoding must carry.
+func FuzzRepetitionExtras(f *testing.F) {
+	f.Add(3, 95.361, 1.25, 0.013, 94.2, 96.5)
+	f.Add(1, 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(5, -1e300, 1e-300, 0.5, math.Inf(-1), math.Inf(1))
+	f.Add(100, 1.0 / 3.0, 2.0 / 7.0, 0.1, 0.3, 0.4)
+	f.Add(2, math.NaN(), 0.0, 0.0, 0.0, 0.0)
+	f.Fuzz(func(t *testing.T, n int, mean, stddev, rsd, ciLo, ciHi float64) {
+		if n < 1 || n > 1_000_000 {
+			return // RepStats decode rejects n < 1 by design; huge n is uninteresting
+		}
+		want := perflog.RepStats{N: n, Mean: mean, Stddev: stddev, RSD: rsd, CILo: ciLo, CIHi: ciHi}
+		e := entry("archer2", "hpgmg-fv", 1, time.Date(2023, 7, 7, 10, 0, 0, 0, time.UTC),
+			map[string]float64{"l0": mean})
+		e.SetRepStats("l0", want)
+
+		root := t.TempDir()
+		if err := perflog.Append(root, "archer2", "hpgmg-fv", e); err != nil {
+			t.Fatal(err)
+		}
+		s := Open(root)
+		if err := s.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		got := s.Select(Query{System: "archer2"})
+		if len(got) != 1 {
+			t.Fatalf("selected %d entries, want 1", len(got))
+		}
+		rs, ok := got[0].RepStats("l0")
+		if !ok {
+			t.Fatal("stats lost through append+ingest")
+		}
+		if !sameFloat(rs.Mean, want.Mean) || !sameFloat(rs.Stddev, want.Stddev) ||
+			!sameFloat(rs.RSD, want.RSD) || !sameFloat(rs.CILo, want.CILo) ||
+			!sameFloat(rs.CIHi, want.CIHi) || rs.N != want.N {
+			t.Fatalf("round trip: got %+v want %+v", rs, want)
+		}
+	})
+}
+
+// sameFloat is bitwise-tolerant equality: NaN equals NaN.
+func sameFloat(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}

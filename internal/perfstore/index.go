@@ -354,7 +354,7 @@ outer:
 // matching entries — the map-merge leg of Store.Aggregate. Partials
 // carry (lastTime, lastSeq) so the merged Last is exactly the
 // latest-by-time value, shard boundaries notwithstanding.
-func (sh *shard) aggregate(m *matcher, keyer *groupKeyer, fomName string) map[string]*partialAgg {
+func (sh *shard) aggregate(m *matcher, keyer *groupKeyer, fomName string, gate float64) map[string]*partialAgg {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	partials := map[string]*partialAgg{}
@@ -368,7 +368,7 @@ func (sh *shard) aggregate(m *matcher, keyer *groupKeyer, fomName string) map[st
 			pa = newPartialAgg(string(raw))
 			partials[pa.group] = pa
 		}
-		pa.observe(st, fomName)
+		pa.observe(st, fomName, gate)
 	}
 	if len(m.keys) > 0 {
 		idxs, ok := sh.intersectLocked(m.keys)

@@ -145,7 +145,7 @@ func TestAggregateIndexMatchesScan(t *testing.T) {
 		if len(groupBy) == 0 {
 			groupBy = []string{"system", "benchmark"}
 		}
-		want := aggregateEntries(s.selectScan(q), groupBy, q.FOM)
+		want := aggregateEntries(s.selectScan(q), groupBy, q.FOM, s.rsdGate())
 		if len(got) != len(want) {
 			t.Fatalf("trial %d: %d groups, want %d (query %+v)", trial, len(got), len(want), q)
 		}

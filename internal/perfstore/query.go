@@ -299,7 +299,10 @@ func (q Query) Encode() string {
 	return v.Encode()
 }
 
-// Aggregate is one group's summary over a FOM.
+// Aggregate is one group's summary over a FOM. Entries whose repetition
+// RSD trips the store's variance gate are counted in Count and Unstable
+// but excluded from Min/Max/Mean/Last: a mean polluted by runs the
+// protocol itself measured as noise would misreport the group.
 type Aggregate struct {
 	Group string  `json:"group"`
 	Count int     `json:"count"`
@@ -308,6 +311,18 @@ type Aggregate struct {
 	Mean  float64 `json:"mean"`
 	Last  float64 `json:"last"`
 	Unit  string  `json:"unit,omitempty"`
+	// Unstable counts entries excluded by the variance gate.
+	Unstable int `json:"unstable,omitempty"`
+}
+
+// entryUnstable reports whether an entry's FOM trips the variance gate:
+// it carries repetition stats (n >= 2) whose RSD exceeds the gate.
+func entryUnstable(e *perflog.Entry, fomName string, gate float64) bool {
+	if gate <= 0 || fomName == "" {
+		return false
+	}
+	s, ok := e.RepStats(fomName)
+	return ok && s.N >= 2 && s.RSD > gate
 }
 
 // partialAgg is one group's running summary inside a single shard —
@@ -317,6 +332,8 @@ type Aggregate struct {
 type partialAgg struct {
 	group    string
 	count    int
+	stable   int // entries contributing to min/max/sum/last
+	unstable int // entries excluded by the variance gate
 	min, max float64
 	sum      float64
 	last     float64
@@ -329,16 +346,21 @@ func newPartialAgg(group string) *partialAgg {
 	return &partialAgg{group: group, min: math.Inf(1), max: math.Inf(-1)}
 }
 
-func (p *partialAgg) observe(st *stored, fomName string) {
+func (p *partialAgg) observe(st *stored, fomName string, gate float64) {
 	p.count++
 	if fomName == "" {
 		return
 	}
+	if entryUnstable(st.entry, fomName, gate) {
+		p.unstable++
+		return
+	}
+	p.stable++
 	v := st.entry.FOMs[fomName]
 	p.min = math.Min(p.min, v.Value)
 	p.max = math.Max(p.max, v.Value)
 	p.sum += v.Value
-	if p.count == 1 || st.t > p.lastT || (st.t == p.lastT && st.seq > p.lastSeq) {
+	if p.stable == 1 || st.t > p.lastT || (st.t == p.lastT && st.seq > p.lastSeq) {
 		p.last = v.Value
 		p.lastT = st.t
 		p.lastSeq = st.seq
@@ -347,17 +369,18 @@ func (p *partialAgg) observe(st *stored, fomName string) {
 }
 
 func (p *partialAgg) merge(o *partialAgg) {
-	first := p.count == 0
 	p.count += o.count
+	p.unstable += o.unstable
 	p.min = math.Min(p.min, o.min)
 	p.max = math.Max(p.max, o.max)
 	p.sum += o.sum
-	if first || o.lastT > p.lastT || (o.lastT == p.lastT && o.lastSeq > p.lastSeq) {
+	if o.stable > 0 && (p.stable == 0 || o.lastT > p.lastT || (o.lastT == p.lastT && o.lastSeq > p.lastSeq)) {
 		p.last = o.last
 		p.lastT = o.lastT
 		p.lastSeq = o.lastSeq
 		p.unit = o.unit
 	}
+	p.stable += o.stable
 }
 
 // Aggregate groups the matching entries by q.GroupBy (default
@@ -378,8 +401,9 @@ func (s *Store) Aggregate(q Query) ([]Aggregate, error) {
 	if len(groupBy) == 0 {
 		groupBy = []string{"system", "benchmark"}
 	}
+	gate := s.rsdGate()
 	if q.Limit > 0 {
-		return aggregateEntries(s.Select(q), groupBy, q.FOM), nil
+		return aggregateEntries(s.Select(q), groupBy, q.FOM, gate), nil
 	}
 	m := q.compile()
 	s.seg.RLock()
@@ -388,9 +412,9 @@ func (s *Store) Aggregate(q Query) ([]Aggregate, error) {
 	parts := make([]map[string]*partialAgg, shardCount+len(segs))
 	fanN(len(parts), func(i int) {
 		if i < shardCount {
-			parts[i] = s.shards[i].aggregate(m, newGroupKeyer(groupBy), q.FOM)
+			parts[i] = s.shards[i].aggregate(m, newGroupKeyer(groupBy), q.FOM, gate)
 		} else {
-			parts[i] = segs[i-shardCount].aggregate(s, m, newGroupKeyer(groupBy), q.FOM)
+			parts[i] = segs[i-shardCount].aggregate(s, m, newGroupKeyer(groupBy), q.FOM, gate)
 		}
 	})
 	merged := map[string]*partialAgg{}
@@ -411,10 +435,10 @@ func (s *Store) Aggregate(q Query) ([]Aggregate, error) {
 	out := make([]Aggregate, 0, len(keys))
 	for _, key := range keys {
 		pa := merged[key]
-		agg := Aggregate{Group: pa.group, Count: pa.count}
-		if q.FOM != "" && pa.count > 0 {
+		agg := Aggregate{Group: pa.group, Count: pa.count, Unstable: pa.unstable}
+		if q.FOM != "" && pa.stable > 0 {
 			agg.Min, agg.Max = pa.min, pa.max
-			agg.Mean = pa.sum / float64(pa.count)
+			agg.Mean = pa.sum / float64(pa.stable)
 			agg.Last = pa.last
 			agg.Unit = pa.unit
 		}
@@ -427,9 +451,10 @@ func (s *Store) Aggregate(q Query) ([]Aggregate, error) {
 // selected, time-ascending entry slice — the pre-index reference the
 // property tests compare the map-merge path against, and the path
 // Aggregate takes when a Limit bounds the match set.
-func aggregateEntries(entries []*perflog.Entry, groupBy []string, fomName string) []Aggregate {
+func aggregateEntries(entries []*perflog.Entry, groupBy []string, fomName string, gate float64) []Aggregate {
 	keyer := newGroupKeyer(groupBy)
 	byGroup := map[string]*Aggregate{}
+	stableCount := map[string]int{}
 	var order []string
 	for _, e := range entries {
 		raw := keyer.raw(e)
@@ -444,6 +469,11 @@ func aggregateEntries(entries []*perflog.Entry, groupBy []string, fomName string
 		if fomName == "" {
 			continue
 		}
+		if entryUnstable(e, fomName, gate) {
+			agg.Unstable++
+			continue
+		}
+		stableCount[agg.Group]++
 		v := e.FOMs[fomName]
 		agg.Unit = v.Unit
 		agg.Min = math.Min(agg.Min, v.Value)
@@ -455,8 +485,8 @@ func aggregateEntries(entries []*perflog.Entry, groupBy []string, fomName string
 	out := make([]Aggregate, 0, len(order))
 	for _, key := range order {
 		agg := byGroup[key]
-		if fomName != "" && agg.Count > 0 {
-			agg.Mean /= float64(agg.Count)
+		if fomName != "" && stableCount[key] > 0 {
+			agg.Mean /= float64(stableCount[key])
 		} else {
 			agg.Min, agg.Max = 0, 0
 		}

@@ -4,12 +4,43 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/perflog"
 )
 
-// Report flags one group's latest FOM value against a sliding baseline
-// — the same rule perfplot regress applies: the latest value is
-// compared with the mean of the baseline window, and a fractional drop
-// beyond the tolerance is flagged.
+// DefaultRSDGate is the run-to-run relative-standard-deviation threshold
+// above which a FOM's latest value is reported as unstable rather than
+// judged against the baseline: a 10% noise floor, per the validation
+// protocol. Store.RSDGate overrides it.
+const DefaultRSDGate = 0.10
+
+// Verdict and method vocabulary for Report.
+const (
+	VerdictOK        = "ok"
+	VerdictRegressed = "regressed"
+	VerdictUnstable  = "unstable"
+
+	MethodCI        = "ci"        // bootstrap CI-overlap test
+	MethodTolerance = "tolerance" // fixed fractional tolerance (fallback)
+	MethodVariance  = "variance"  // variance gate tripped; no comparison made
+)
+
+// SeriesPoint is one run's contribution to a regression series: the
+// perflog point value plus, when the run used the repetition protocol,
+// its per-FOM repetition statistics.
+type SeriesPoint struct {
+	Value float64
+	Stats *perflog.RepStats // nil for single-execution entries
+}
+
+// Report flags one group's latest FOM value against a sliding baseline.
+// When the latest run carries enough repetitions (n >= 3) the verdict
+// comes from a CI-overlap test — flagged when the latest run's bootstrap
+// confidence interval falls entirely below the baseline's interval
+// envelope; otherwise the fixed-tolerance rule is the fallback. A latest
+// run whose run-to-run RSD exceeds the gate is reported as unstable and
+// never flagged: noise is not a regression, and a mean over noise is not
+// a result.
 type Report struct {
 	Group    string  `json:"group"`
 	Baseline float64 `json:"baseline"`
@@ -17,21 +48,69 @@ type Report struct {
 	Change   float64 `json:"change"` // fractional, negative = slower
 	Flagged  bool    `json:"flagged"`
 	Samples  int     `json:"samples"` // values in the baseline window
+	// Verdict is ok, regressed, or unstable; Method records which rule
+	// produced it (ci, tolerance, variance).
+	Verdict string `json:"verdict,omitempty"`
+	Method  string `json:"method,omitempty"`
+	// Interval columns, present when the CI path judged the series.
+	BaselineLo float64 `json:"baseline_lo,omitempty"`
+	BaselineHi float64 `json:"baseline_hi,omitempty"`
+	LatestLo   float64 `json:"latest_lo,omitempty"`
+	LatestHi   float64 `json:"latest_hi,omitempty"`
+	// Repetition statistics of the latest run, when it carried any.
+	LatestN   int     `json:"latest_n,omitempty"`
+	LatestRSD float64 `json:"latest_rsd,omitempty"`
 }
 
-// EvalSeries applies the regression rule to one time-ascending series:
-// baseline = mean of the window values preceding the latest (window
-// <= 0 means all of them), change = (latest-baseline)/baseline, flagged
-// when the drop exceeds the tolerance. It reports false when the series
-// is too short to judge (fewer than two values). This is the single
-// tolerance implementation shared by perfplot regress
-// (postprocess.CheckRegressions) and the benchd /v1/regressions
-// endpoint.
+// EvalSeries applies the fixed-tolerance regression rule to a plain
+// value series — the pre-repetition rule, kept as the exact fallback for
+// series without repetition statistics (and for callers like
+// postprocess.CheckRegressions that predate the protocol). It is
+// EvalSeriesPoints over stat-less points with the variance gate off.
 func EvalSeries(vals []float64, tolerance float64, window int) (Report, bool) {
-	clean := vals[:0:0]
-	for _, v := range vals {
-		if !math.IsNaN(v) {
-			clean = append(clean, v)
+	points := make([]SeriesPoint, len(vals))
+	for i, v := range vals {
+		points[i] = SeriesPoint{Value: v}
+	}
+	return EvalSeriesPoints(points, tolerance, window, 0)
+}
+
+// pointInterval is a point's confidence interval: its bootstrap CI when
+// it carries repetition stats with n >= 2, else the degenerate interval
+// at its value.
+func pointInterval(p SeriesPoint) (lo, hi float64) {
+	if p.Stats != nil && p.Stats.N >= 2 {
+		return p.Stats.CILo, p.Stats.CIHi
+	}
+	return p.Value, p.Value
+}
+
+// unstablePoint reports whether a point trips the variance gate.
+func unstablePoint(p SeriesPoint, gate float64) bool {
+	return gate > 0 && p.Stats != nil && p.Stats.N >= 2 && p.Stats.RSD > gate
+}
+
+// EvalSeriesPoints applies the regression rule to one time-ascending
+// series of points: baseline = the window of points preceding the latest
+// (window <= 0 means all of them), excluding unstable baseline points
+// (falling back to all of them if every one is unstable). The verdict:
+//
+//   - variance gate: the latest point's RSD exceeds rsdGate → unstable,
+//     never flagged (rsdGate <= 0 disables the gate).
+//   - CI overlap: the latest point has n >= 3 repetitions → flagged when
+//     its CI falls entirely below the baseline CI envelope and the
+//     change is negative.
+//   - tolerance: otherwise, flagged when the fractional drop from the
+//     baseline mean exceeds tolerance — byte-for-byte the pre-repetition
+//     rule for stat-less series.
+//
+// It reports false when the series is too short to judge (fewer than two
+// usable values).
+func EvalSeriesPoints(points []SeriesPoint, tolerance float64, window int, rsdGate float64) (Report, bool) {
+	clean := points[:0:0]
+	for _, p := range points {
+		if !math.IsNaN(p.Value) {
+			clean = append(clean, p)
 		}
 	}
 	if len(clean) < 2 {
@@ -42,29 +121,84 @@ func EvalSeries(vals []float64, tolerance float64, window int) (Report, bool) {
 	if window > 0 && len(base) > window {
 		base = base[len(base)-window:]
 	}
-	sum := 0.0
-	for _, v := range base {
-		sum += v
+	// Unstable base points do not contribute to the baseline: their
+	// means are noise. If every base point is unstable there is nothing
+	// better — use them all rather than refuse a verdict.
+	stable := base[:0:0]
+	for _, p := range base {
+		if !unstablePoint(p, rsdGate) {
+			stable = append(stable, p)
+		}
 	}
-	mean := sum / float64(len(base))
+	if len(stable) == 0 {
+		stable = base
+	}
+	sum := 0.0
+	for _, p := range stable {
+		sum += p.Value
+	}
+	mean := sum / float64(len(stable))
 	change := 0.0
 	if mean != 0 {
-		change = (latest - mean) / mean
+		change = (latest.Value - mean) / mean
 	}
-	return Report{
+	r := Report{
 		Baseline: mean,
-		Latest:   latest,
+		Latest:   latest.Value,
 		Change:   change,
-		Flagged:  change < -tolerance,
-		Samples:  len(base),
-	}, true
+		Samples:  len(stable),
+	}
+	if latest.Stats != nil {
+		r.LatestN = latest.Stats.N
+		r.LatestRSD = latest.Stats.RSD
+		r.LatestLo, r.LatestHi = pointInterval(latest)
+	}
+
+	if unstablePoint(latest, rsdGate) {
+		r.Verdict = VerdictUnstable
+		r.Method = MethodVariance
+		return r, true
+	}
+
+	if latest.Stats != nil && latest.Stats.N >= 3 {
+		// CI-overlap test: the baseline interval is the envelope of the
+		// stable base points' intervals — the range of means the history
+		// supports. A regression requires the latest run's entire CI to
+		// sit below it.
+		baseLo, baseHi := math.Inf(1), math.Inf(-1)
+		for _, p := range stable {
+			lo, hi := pointInterval(p)
+			baseLo = math.Min(baseLo, lo)
+			baseHi = math.Max(baseHi, hi)
+		}
+		r.BaselineLo, r.BaselineHi = baseLo, baseHi
+		r.Method = MethodCI
+		if r.LatestHi < baseLo && change < 0 {
+			r.Flagged = true
+			r.Verdict = VerdictRegressed
+		} else {
+			r.Verdict = VerdictOK
+		}
+		return r, true
+	}
+
+	r.Method = MethodTolerance
+	r.Flagged = change < -tolerance
+	if r.Flagged {
+		r.Verdict = VerdictRegressed
+	} else {
+		r.Verdict = VerdictOK
+	}
+	return r, true
 }
 
 // Regressions evaluates q.FOM over the matching entries, grouped by
 // q.GroupBy (default system,benchmark), each group ordered by
 // timestamp. window bounds the sliding baseline (0 = every earlier
-// run). Groups with fewer than two runs are skipped — nothing to
-// compare yet.
+// run). Entries carrying repetition statistics are judged by CI overlap
+// and gated on run-to-run variance (Store.RSDGate, default 10%);
+// stat-less series fall back to the fixed tolerance. Groups with fewer
+// than two runs are skipped — nothing to compare yet.
 func (s *Store) Regressions(q Query, tolerance float64, window int) ([]Report, error) {
 	if q.FOM == "" {
 		return nil, fmt.Errorf("perfstore: regressions need Query.FOM")
@@ -73,20 +207,25 @@ func (s *Store) Regressions(q Query, tolerance float64, window int) ([]Report, e
 	if len(groupBy) == 0 {
 		groupBy = []string{"system", "benchmark"}
 	}
+	gate := s.rsdGate()
 	entries := s.Select(q) // time-ascending, fanned out across shards
 	// Pointer values keep the hot loop allocation-free: the group key is
 	// rendered into the keyer's reused buffer and only materialized as a
 	// string when a new group appears.
 	keyer := newGroupKeyer(groupBy)
-	series := map[string]*[]float64{}
+	series := map[string]*[]SeriesPoint{}
 	for _, e := range entries {
 		raw := keyer.raw(e)
-		vals := series[string(raw)]
-		if vals == nil {
-			vals = new([]float64)
-			series[string(raw)] = vals
+		pts := series[string(raw)]
+		if pts == nil {
+			pts = new([]SeriesPoint)
+			series[string(raw)] = pts
 		}
-		*vals = append(*vals, e.FOMs[q.FOM].Value)
+		p := SeriesPoint{Value: e.FOMs[q.FOM].Value}
+		if st, ok := e.RepStats(q.FOM); ok {
+			p.Stats = &st
+		}
+		*pts = append(*pts, p)
 	}
 	keys := make([]string, 0, len(series))
 	for k := range series {
@@ -95,7 +234,7 @@ func (s *Store) Regressions(q Query, tolerance float64, window int) ([]Report, e
 	sort.Strings(keys)
 	var out []Report
 	for _, key := range keys {
-		r, ok := EvalSeries(*series[key], tolerance, window)
+		r, ok := EvalSeriesPoints(*series[key], tolerance, window, gate)
 		if !ok {
 			continue
 		}

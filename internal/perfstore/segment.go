@@ -697,7 +697,7 @@ func (g *segment) collect(s *Store, m *matcher, limit int) []hit {
 
 // aggregate is the sealed tier's leg of Store.Aggregate — the same
 // per-group partials the head shards produce, map-merged by the caller.
-func (g *segment) aggregate(s *Store, m *matcher, keyer *groupKeyer, fomName string) map[string]*partialAgg {
+func (g *segment) aggregate(s *Store, m *matcher, keyer *groupKeyer, fomName string, gate float64) map[string]*partialAgg {
 	partials := map[string]*partialAgg{}
 	if m.hasSince && g.info.MaxT < m.sinceNano {
 		metricSegmentsPruned.Inc()
@@ -718,7 +718,7 @@ func (g *segment) aggregate(s *Store, m *matcher, keyer *groupKeyer, fomName str
 			pa = newPartialAgg(string(raw))
 			partials[pa.group] = pa
 		}
-		pa.observe(st, fomName)
+		pa.observe(st, fomName, gate)
 	}
 	if len(m.keys) > 0 {
 		idxs, ok := intersectPostings(d.post, m.keys)

@@ -89,6 +89,18 @@ type Stats struct {
 	SegmentLoadFailures int
 }
 
+// rsdGate resolves the store's effective variance-gate threshold.
+func (s *Store) rsdGate() float64 {
+	switch {
+	case s.RSDGate > 0:
+		return s.RSDGate
+	case s.RSDGate < 0:
+		return 0 // explicitly disabled
+	default:
+		return DefaultRSDGate
+	}
+}
+
 // Store is the concurrent perflog store: a mutable head (the sharded
 // in-memory index, fed by checkpointed ingest) plus, when opened with
 // OpenTiered, a sealed tier of immutable on-disk segments. Queries fan
@@ -96,7 +108,14 @@ type Stats struct {
 type Store struct {
 	root    string
 	dataDir string // "" = memory-only store (no sealed tier)
-	shards  [shardCount]shard
+
+	// RSDGate is the run-to-run relative-standard-deviation threshold for
+	// the variance gate on aggregates and regression verdicts; 0 selects
+	// DefaultRSDGate, negative disables the gate. Set before serving
+	// queries (not synchronized against concurrent readers).
+	RSDGate float64
+
+	shards [shardCount]shard
 
 	// seq hands out the store-wide ingest sequence that breaks
 	// timestamp ties; gen counts index mutations (adds, evictions,

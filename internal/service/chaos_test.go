@@ -67,7 +67,13 @@ const chaosSchedule = "scheduler.submit:error:rate=0.25," +
 	// to finish the soak in a handful of sampler ticks.
 	"obs.sample:error:every=5," +
 	"obs.historywrite:error:every=2," +
-	"obs.profilecapture:error:times=2"
+	"obs.profilecapture:error:times=2," +
+	// Statistical-rigor path: a repetition inside an N-rep set fails.
+	// The runner must either retry that repetition into a complete set
+	// or fail the whole run — a persisted entry with a partial set, or
+	// an n inflated by a retried rep counted twice, is a soak failure
+	// (asserted below over every perflog line).
+	"core.repetition:error:rate=0.15"
 
 func TestChaosSoak(t *testing.T) { chaosSoak(t, "") }
 
@@ -134,6 +140,7 @@ func chaosSoak(t *testing.T, dataDir string) {
 		{"scheduler.submit", "error"}, {"buildsys.install", "error"}, {"perfstore.read", "short"},
 		{"cbsched.tick", "error"}, {"eventbus.publish", "error"},
 		{"obs.sample", "error"}, {"obs.profilecapture", "error"},
+		{"core.repetition", "error"},
 	} {
 		v, _ := reg.Value("faultinject_fired_total", pk[0], pk[1])
 		classBefore[pk[0]+"|"+pk[1]] = v
@@ -288,7 +295,15 @@ func chaosSoak(t *testing.T, dataDir string) {
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; i < runsPerClient; i++ {
+				// Every other submission asks for a 3-repetition protocol
+				// (one warm-up), so the core.repetition fault point draws
+				// throughout the soak and the perflog invariants below see
+				// a mix of single and repeated runs.
 				body := fmt.Sprintf(`{"benchmark": "babelstream-omp", "system": %q}`, systems[(c+i)%len(systems)])
+				if i%2 == 0 {
+					body = fmt.Sprintf(`{"benchmark": "babelstream-omp", "system": %q, "repetitions": 3, "warmup": 1}`,
+						systems[(c+i)%len(systems)])
+				}
 				accepted := false
 				for attempt := 0; attempt < 50 && !accepted; attempt++ {
 					resp, err := client.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(body))
@@ -565,6 +580,50 @@ func chaosSoak(t *testing.T, dataDir string) {
 	if len(entries) != len(completedAll) {
 		t.Errorf("perflog holds %d entries, %d runs completed (lost or duplicated results)", len(entries), len(completedAll))
 	}
+	// Invariant: no partial repetition sets and no double-counted reps.
+	// An entry that declares a repetition protocol carries a complete,
+	// decodable stats block for every FOM, with n exactly equal to the
+	// declared measured count — a repetition retried after an injected
+	// core.repetition fault contributes once, never twice; a set the
+	// retries could not complete produced no entry at all.
+	repeated := 0
+	for _, e := range entries {
+		reps, declared := e.Extra["repetitions"]
+		foms := e.RepFOMs()
+		if !declared {
+			if len(foms) != 0 {
+				t.Errorf("entry %s/%s job %d: rep stats without a declared protocol", e.System, e.Benchmark, e.JobID)
+			}
+			continue
+		}
+		repeated++
+		want, err := strconv.Atoi(reps)
+		if err != nil {
+			t.Errorf("entry %s/%s job %d: bad repetitions extra %q", e.System, e.Benchmark, e.JobID, reps)
+			continue
+		}
+		if len(foms) == 0 {
+			t.Errorf("entry %s/%s job %d: declared %d repetitions but has no stats block", e.System, e.Benchmark, e.JobID, want)
+		}
+		for _, fomName := range foms {
+			st, ok := e.RepStats(fomName)
+			if !ok {
+				t.Errorf("entry %s/%s job %d: partial stats block for %s", e.System, e.Benchmark, e.JobID, fomName)
+				continue
+			}
+			if st.N != want {
+				t.Errorf("entry %s/%s job %d: %s has n=%d, protocol declared %d (lost or double-counted repetition)",
+					e.System, e.Benchmark, e.JobID, fomName, st.N, want)
+			}
+			if !(st.CILo <= st.Mean && st.Mean <= st.CIHi) {
+				t.Errorf("entry %s/%s job %d: %s CI [%g, %g] does not bracket mean %g",
+					e.System, e.Benchmark, e.JobID, fomName, st.CILo, st.CIHi, st.Mean)
+			}
+		}
+	}
+	if repeated == 0 {
+		t.Error("no repetition-protocol entries survived the soak")
+	}
 
 	// Invariant: with faults cleared, both the server's store and a
 	// cold-opened one converge to filesystem truth (short reads only
@@ -596,6 +655,7 @@ func chaosSoak(t *testing.T, dataDir string) {
 		{"scheduler.submit", "error"}, {"buildsys.install", "error"}, {"perfstore.read", "short"},
 		{"cbsched.tick", "error"}, {"eventbus.publish", "error"},
 		{"obs.sample", "error"}, {"obs.profilecapture", "error"},
+		{"core.repetition", "error"},
 	} {
 		v, _ := reg.Value("faultinject_fired_total", pk[0], pk[1])
 		if v-classBefore[pk[0]+"|"+pk[1]] <= 0 {

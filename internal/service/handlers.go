@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/buildsys"
 	"repro/internal/perflog"
 	"repro/internal/perfstore"
 	"repro/internal/retry"
@@ -155,6 +156,8 @@ type runRequest struct {
 	NumTasks     int    `json:"num_tasks,omitempty"`
 	TasksPerNode int    `json:"tasks_per_node,omitempty"`
 	CPUsPerTask  int    `json:"cpus_per_task,omitempty"`
+	Repetitions  int    `json:"repetitions,omitempty"`
+	Warmup       int    `json:"warmup,omitempty"`
 }
 
 // fomView is one figure of merit on the wire.
@@ -248,10 +251,34 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	run, err := s.Submit(req.Benchmark, req.System, req.Spec, req.NumTasks, req.TasksPerNode, req.CPUsPerTask)
+	run, err := s.Submit(SubmitRequest{
+		Benchmark:    req.Benchmark,
+		System:       req.System,
+		Spec:         req.Spec,
+		NumTasks:     req.NumTasks,
+		TasksPerNode: req.TasksPerNode,
+		CPUsPerTask:  req.CPUsPerTask,
+		Repetitions:  req.Repetitions,
+		Warmup:       req.Warmup,
+	})
+	var stale *buildsys.StaleBinaryError
 	switch {
 	case errors.Is(err, errQueueFull), errors.Is(err, errShuttingDown), errors.Is(err, errDegraded):
 		writeUnavailable(w, err)
+		return
+	case errors.As(err, &stale):
+		// Pre-flight caught a build manifest whose DAG hash no longer
+		// matches the concretized spec: the installed binary is stale.
+		// 409 tells the client the tree conflicts with the request —
+		// rebuild (or resubmit, which rebuilds) rather than retry as-is.
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error":     err.Error(),
+			"code":      "stale_binary",
+			"package":   stale.Package,
+			"prefix":    stale.Prefix,
+			"want_hash": stale.WantHash,
+			"got_hash":  stale.GotHash,
+		})
 		return
 	case retry.IsTransient(err):
 		// An injected or otherwise transient submission failure: the
@@ -394,16 +421,20 @@ func (s *Server) handleRegressions(w http.ResponseWriter, r *http.Request) {
 	if reports == nil {
 		reports = []perfstore.Report{} // an empty set is [], not null
 	}
-	flagged := 0
+	flagged, unstable := 0, 0
 	for _, r := range reports {
 		if r.Flagged {
 			flagged++
+		}
+		if r.Verdict == perfstore.VerdictUnstable {
+			unstable++
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"regressions": reports,
 		"count":       len(reports),
 		"flagged":     flagged,
+		"unstable":    unstable,
 		"tolerance":   tolerance,
 		"window":      window,
 	})

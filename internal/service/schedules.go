@@ -40,8 +40,14 @@ type scheduleRequest struct {
 // client work share one backpressure story. The schedule id rides on
 // the run so completion flows back into the scheduler's state.
 func (s *Server) startScheduled(sp cbsched.Spec) (string, error) {
-	run, err := s.submit(sp.Benchmark, sp.System, sp.BuildSpec,
-		sp.NumTasks, sp.TasksPerNode, sp.CPUsPerTask, sp.ID)
+	run, err := s.submit(SubmitRequest{
+		Benchmark:    sp.Benchmark,
+		System:       sp.System,
+		Spec:         sp.BuildSpec,
+		NumTasks:     sp.NumTasks,
+		TasksPerNode: sp.TasksPerNode,
+		CPUsPerTask:  sp.CPUsPerTask,
+	}, sp.ID)
 	if err != nil {
 		return "", err
 	}

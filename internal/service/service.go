@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/buildsys"
 	"repro/internal/cbsched"
 	"repro/internal/core"
 	"repro/internal/eventbus"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/perflog"
 	"repro/internal/perfstore"
 	"repro/internal/retry"
+	"repro/internal/stats"
 	"repro/internal/suite"
 	"repro/internal/telemetry"
 )
@@ -109,6 +111,11 @@ type Config struct {
 	// RegressionWindow bounds the sliding baseline for post-run
 	// regression detection (default 5; <0 disables detection).
 	RegressionWindow int
+	// RSDGate is the run-to-run relative-standard-deviation threshold
+	// above which a FOM's repetition set is reported unstable instead of
+	// contributing to aggregates and regression verdicts (default
+	// perfstore.DefaultRSDGate, 10%; negative disables the gate).
+	RSDGate float64
 	// SampleInterval paces the self-observability sampler that records
 	// metric history and evaluates alert rules (default 10s).
 	SampleInterval time.Duration
@@ -202,6 +209,10 @@ type Run struct {
 	NumTasks     int
 	TasksPerNode int
 	CPUsPerTask  int
+	// Repetitions/Warmup select the run's repetition protocol (0 = the
+	// runner's defaults, i.e. a single execution).
+	Repetitions int
+	Warmup      int
 
 	mu        sync.Mutex
 	status    string
@@ -286,6 +297,7 @@ func New(cfg Config) (*Server, error) {
 	} else {
 		store = perfstore.Open(cfg.PerflogRoot)
 	}
+	store.RSDGate = cfg.RSDGate
 	if err := store.Sync(); err != nil {
 		return nil, fmt.Errorf("service: initial ingest: %w", err)
 	}
@@ -448,16 +460,33 @@ func (s *Server) Store() *perfstore.Store { return s.store }
 // tune its retry policy and stage timeout before submitting work.
 func (s *Server) Runner() *core.Runner { return s.runner }
 
+// SubmitRequest is one run submission: what to run, where, and under
+// which repetition protocol.
+type SubmitRequest struct {
+	Benchmark    string
+	System       string
+	Spec         string
+	NumTasks     int
+	TasksPerNode int
+	CPUsPerTask  int
+	// Repetitions/Warmup select the repetition protocol (0 = the
+	// runner's defaults).
+	Repetitions int
+	Warmup      int
+}
+
 // Submit validates a run request and enqueues it. It fails fast on an
-// unknown benchmark or system, a negative layout override, or when the
-// queue is full.
-func (s *Server) Submit(benchmark, system, specText string, numTasks, tasksPerNode, cpusPerTask int) (*Run, error) {
-	return s.submit(benchmark, system, specText, numTasks, tasksPerNode, cpusPerTask, "")
+// unknown benchmark or system, a negative layout override, a stale
+// install-tree binary (pre-flight validation; surfaces as
+// *buildsys.StaleBinaryError), or when the queue is full.
+func (s *Server) Submit(req SubmitRequest) (*Run, error) {
+	return s.submit(req, "")
 }
 
 // submit is Submit plus the schedule provenance used by the recurring
 // scheduler's firings; both paths share the queue and its backpressure.
-func (s *Server) submit(benchmark, system, specText string, numTasks, tasksPerNode, cpusPerTask int, scheduleID string) (*Run, error) {
+func (s *Server) submit(req SubmitRequest, scheduleID string) (*Run, error) {
+	benchmark, system, specText := req.Benchmark, req.System, req.Spec
 	if benchmark == "" || system == "" {
 		return nil, fmt.Errorf("benchmark and system are required")
 	}
@@ -468,11 +497,23 @@ func (s *Server) submit(benchmark, system, specText string, numTasks, tasksPerNo
 	// values would otherwise flow unchecked into the runner and job
 	// script (the runner only overrides on > 0, silently masking the
 	// caller's mistake).
-	if numTasks < 0 || tasksPerNode < 0 || cpusPerTask < 0 {
+	if req.NumTasks < 0 || req.TasksPerNode < 0 || req.CPUsPerTask < 0 {
 		return nil, fmt.Errorf("layout overrides must be non-negative (num_tasks=%d, tasks_per_node=%d, cpus_per_task=%d)",
-			numTasks, tasksPerNode, cpusPerTask)
+			req.NumTasks, req.TasksPerNode, req.CPUsPerTask)
 	}
-	if _, err := suite.ByName(benchmark); err != nil {
+	if req.Repetitions < 0 || req.Warmup < 0 {
+		return nil, fmt.Errorf("repetitions and warmup must be non-negative (repetitions=%d, warmup=%d)",
+			req.Repetitions, req.Warmup)
+	}
+	reps := req.Repetitions
+	if reps == 0 {
+		reps = 1
+	}
+	if err := stats.ValidateProtocol(reps, req.Warmup); err != nil {
+		return nil, err
+	}
+	b, err := suite.ByName(benchmark)
+	if err != nil {
 		return nil, err
 	}
 	if _, _, err := s.runner.Estate.Resolve(system); err != nil {
@@ -484,6 +525,19 @@ func (s *Server) submit(benchmark, system, specText string, numTasks, tasksPerNo
 			return nil, err
 		}
 		specText = norm
+	}
+	// Pre-flight validation (the stale-binary postmortem): reject the
+	// run before it enters the queue when an installed prefix the build
+	// would consult no longer matches the concretized spec. The handler
+	// maps *buildsys.StaleBinaryError to a typed 409. Any other
+	// pre-flight failure (an unresolvable spec, say) falls through: the
+	// run is accepted and fails asynchronously with full context, as it
+	// always has.
+	if err := s.runner.Preflight(b, core.Options{System: system, Spec: specText}); err != nil {
+		var stale *buildsys.StaleBinaryError
+		if errors.As(err, &stale) {
+			return nil, fmt.Errorf("service: preflight: %w", err)
+		}
 	}
 	// The "service.submit" injection point models the submission path
 	// itself failing transiently (the store behind it wobbling); the
@@ -503,9 +557,11 @@ func (s *Server) submit(benchmark, system, specText string, numTasks, tasksPerNo
 		System:       system,
 		Spec:         specText,
 		ScheduleID:   scheduleID,
-		NumTasks:     numTasks,
-		TasksPerNode: tasksPerNode,
-		CPUsPerTask:  cpusPerTask,
+		NumTasks:     req.NumTasks,
+		TasksPerNode: req.TasksPerNode,
+		CPUsPerTask:  req.CPUsPerTask,
+		Repetitions:  req.Repetitions,
+		Warmup:       req.Warmup,
 		status:       StatusQueued,
 		submitted:    time.Now(),
 	}
@@ -577,6 +633,8 @@ func (s *Server) execute(run *Run) {
 		NumTasks:     run.NumTasks,
 		TasksPerNode: run.TasksPerNode,
 		CPUsPerTask:  run.CPUsPerTask,
+		Repetitions:  run.Repetitions,
+		Warmup:       run.Warmup,
 	})
 	if err != nil {
 		s.fail(ctx, span, run, err)

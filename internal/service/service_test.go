@@ -309,7 +309,7 @@ func TestQueueFullRejectsWith503(t *testing.T) {
 	// must be rejected with the queue-full error; none may block.
 	var rejected int
 	for i := 0; i < 20; i++ {
-		_, err := srv.Submit("babelstream-omp", "archer2", "", 0, 0, 0)
+		_, err := srv.Submit(SubmitRequest{Benchmark: "babelstream-omp", System: "archer2"})
 		if err != nil {
 			if !strings.Contains(err.Error(), "queue is full") {
 				t.Fatalf("unexpected error: %v", err)
@@ -335,7 +335,7 @@ func TestShutdownDrainsQueuedRuns(t *testing.T) {
 	}
 	var ids []string
 	for i := 0; i < 3; i++ {
-		run, err := srv.Submit("babelstream-omp", "archer2", "", 0, 0, 0)
+		run, err := srv.Submit(SubmitRequest{Benchmark: "babelstream-omp", System: "archer2"})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -357,7 +357,7 @@ func TestShutdownDrainsQueuedRuns(t *testing.T) {
 		}
 	}
 	// And submissions after shutdown are refused.
-	if _, err := srv.Submit("babelstream-omp", "archer2", "", 0, 0, 0); err == nil {
+	if _, err := srv.Submit(SubmitRequest{Benchmark: "babelstream-omp", System: "archer2"}); err == nil {
 		t.Error("submit after shutdown accepted")
 	}
 }
@@ -404,7 +404,7 @@ func TestFailedRunIsReported(t *testing.T) {
 		defer cancel()
 		srv.Shutdown(ctx)
 	}()
-	run, err := srv.Submit("babelstream-omp", "archer2", "no-such-package", 0, 0, 0)
+	run, err := srv.Submit(SubmitRequest{Benchmark: "babelstream-omp", System: "archer2", Spec: "no-such-package"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,215 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/buildsys"
+)
+
+// newStatServer is newTestServer plus visibility into the install tree,
+// which the stale-binary test needs to tamper with.
+func newStatServer(t *testing.T) (*Server, *httptest.Server, string) {
+	t.Helper()
+	dir := t.TempDir()
+	tree := filepath.Join(dir, "install")
+	srv, err := New(Config{
+		PerflogRoot:    filepath.Join(dir, "perflogs"),
+		InstallTree:    tree,
+		Workers:        2,
+		QueueDepth:     8,
+		RequestTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return srv, ts, tree
+}
+
+// TestRepetitionRunE2E submits a run with repetitions over HTTP and
+// checks the persisted entry carries a complete, coherent repetition
+// stats block: n matches the protocol, and ci_lo <= mean <= ci_hi.
+func TestRepetitionRunE2E(t *testing.T) {
+	_, ts, _ := newStatServer(t)
+
+	v := submitAndWait(t, ts,
+		`{"benchmark":"babelstream-omp","system":"archer2","repetitions":3,"warmup":1}`)
+	if v.Status != StatusCompleted {
+		t.Fatalf("run = %+v", v)
+	}
+	if v.Entry == nil {
+		t.Fatal("no entry on completed run")
+	}
+	if got := v.Entry.Extra["repetitions"]; got != "3" {
+		t.Errorf("repetitions extra = %q, want 3", got)
+	}
+	if got := v.Entry.Extra["warmup_discarded"]; got != "1" {
+		t.Errorf("warmup_discarded extra = %q, want 1", got)
+	}
+	stat := func(field string) float64 {
+		t.Helper()
+		raw, ok := v.Entry.Extra["rep:triad_mbps:"+field]
+		if !ok {
+			t.Fatalf("entry missing rep:triad_mbps:%s; extras = %v", field, v.Entry.Extra)
+		}
+		x, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			t.Fatalf("rep:triad_mbps:%s = %q: %v", field, raw, err)
+		}
+		return x
+	}
+	if n := stat("n"); n != 3 {
+		t.Errorf("n = %v, want 3", n)
+	}
+	mean, lo, hi := stat("mean"), stat("ci_lo"), stat("ci_hi")
+	if !(lo <= mean && mean <= hi) {
+		t.Errorf("CI does not bracket the mean: [%v, %v] mean %v", lo, hi, mean)
+	}
+	if mean <= 0 {
+		t.Errorf("mean = %v, want > 0", mean)
+	}
+	if stat("stddev") < 0 || stat("rsd") < 0 {
+		t.Error("negative dispersion")
+	}
+	// The FOM point value is the mean of the measured repetitions.
+	if got := v.Entry.FOMs["triad_mbps"].Value; got != mean {
+		t.Errorf("FOM value %v != repetition mean %v", got, mean)
+	}
+
+	// The same stats survive the store: query the entry back.
+	var q struct {
+		Entries []entryView `json:"entries"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/query?system=archer2&benchmark=babelstream-omp", &q); code != http.StatusOK {
+		t.Fatalf("query status = %d", code)
+	}
+	if len(q.Entries) != 1 {
+		t.Fatalf("queried %d entries, want 1", len(q.Entries))
+	}
+	if got := q.Entries[0].Extra["rep:triad_mbps:n"]; got != "3" {
+		t.Errorf("queried n = %q, want 3", got)
+	}
+}
+
+// TestSubmitStaleBinary409 is the pre-flight acceptance path: after a
+// successful run, tamper with every installed manifest's DAG hash and
+// resubmit — the daemon must answer 409 with the typed stale-binary
+// body instead of queueing the run.
+func TestSubmitStaleBinary409(t *testing.T) {
+	_, ts, tree := newStatServer(t)
+
+	v := submitAndWait(t, ts, `{"benchmark":"babelstream-omp","system":"archer2"}`)
+	if v.Status != StatusCompleted {
+		t.Fatalf("seed run = %+v", v)
+	}
+
+	prefixes, err := os.ReadDir(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := 0
+	for _, d := range prefixes {
+		if !d.IsDir() {
+			continue
+		}
+		prefix := filepath.Join(tree, d.Name())
+		m, err := buildsys.ReadManifest(prefix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Hash = "deadbeefdeadbeef"
+		if err := buildsys.WriteManifest(prefix, m); err != nil {
+			t.Fatal(err)
+		}
+		tampered++
+	}
+	if tampered == 0 {
+		t.Fatal("no installed prefixes to tamper with")
+	}
+
+	var body struct {
+		Code     string `json:"code"`
+		Package  string `json:"package"`
+		Prefix   string `json:"prefix"`
+		WantHash string `json:"want_hash"`
+		GotHash  string `json:"got_hash"`
+		Error    string `json:"error"`
+	}
+	code := postJSON(t, ts.URL+"/v1/runs",
+		`{"benchmark":"babelstream-omp","system":"archer2"}`, &body)
+	if code != http.StatusConflict {
+		t.Fatalf("submit after tamper: status = %d, want 409 (body %+v)", code, body)
+	}
+	if body.Code != "stale_binary" {
+		t.Errorf("code = %q, want stale_binary", body.Code)
+	}
+	if body.Package == "" || body.Prefix == "" || body.WantHash == "" {
+		t.Errorf("incomplete stale body: %+v", body)
+	}
+	if body.GotHash != "deadbeefdeadbeef" {
+		t.Errorf("got_hash = %q", body.GotHash)
+	}
+}
+
+// TestSubmitBadProtocol rejects malformed repetition protocols at the
+// API boundary with 400, before any work is queued.
+func TestSubmitBadProtocol(t *testing.T) {
+	_, ts, _ := newStatServer(t)
+
+	for _, body := range []string{
+		`{"benchmark":"babelstream-omp","system":"archer2","repetitions":-1}`,
+		`{"benchmark":"babelstream-omp","system":"archer2","warmup":-2}`,
+		`{"benchmark":"babelstream-omp","system":"archer2","repetitions":900,"warmup":200}`,
+	} {
+		var out map[string]any
+		if code := postJSON(t, ts.URL+"/v1/runs", body, &out); code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", body, code)
+		}
+	}
+}
+
+// TestRegressionsUnstableCount checks /v1/regressions surfaces the
+// variance-gate verdict count alongside flagged.
+func TestRegressionsUnstableCount(t *testing.T) {
+	_, ts, _ := newStatServer(t)
+
+	// Three runs of the same target build a series; high-variance rep
+	// stats are easier to inject directly at the perflog layer, but the
+	// endpoint shape (unstable key present, integer) must hold even for
+	// an all-stable series.
+	for i := 0; i < 3; i++ {
+		if v := submitAndWait(t, ts,
+			`{"benchmark":"babelstream-omp","system":"archer2","repetitions":3}`); v.Status != StatusCompleted {
+			t.Fatalf("run %d = %+v", i, v)
+		}
+	}
+	var out struct {
+		Count    int `json:"count"`
+		Flagged  int `json:"flagged"`
+		Unstable int `json:"unstable"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/regressions?fom=triad_mbps&system=archer2", &out); code != http.StatusOK {
+		t.Fatalf("regressions status = %d", code)
+	}
+	if out.Count != 1 {
+		t.Fatalf("count = %d, want 1", out.Count)
+	}
+	if out.Unstable != 0 {
+		t.Errorf("unstable = %d, want 0 for a ±1%% jitter series", out.Unstable)
+	}
+}

@@ -90,6 +90,8 @@ func run(args []string) error {
 	historyCap := fs.Int("history-capacity", 512, "retained points per metric series per resolution tier")
 	profileLimit := fs.Int("profile-limit", 16, "retained alert-triggered pprof artifacts")
 	profileCooldown := fs.Duration("profile-cooldown", time.Minute, "minimum gap between alert-triggered profile captures")
+	commitInterval := fs.Duration("commit-interval", 0, "perflog group-commit accumulation window (0 = commit when idle)")
+	commitBytes := fs.Int("commit-bytes", 0, "flush a perflog commit batch early at this many buffered bytes (0 = 1 MiB)")
 	retries := fs.Int("retries", 0, "max attempts per pipeline stage on transient failures (0 = default policy)")
 	faults := fs.String("faults", "", "fault-injection schedule, e.g. 'scheduler.submit:error:rate=0.1' (testing)")
 	faultSeed := fs.Int64("fault-seed", 1, "PRNG seed for --faults decisions")
@@ -142,6 +144,8 @@ func run(args []string) error {
 		Logger:          logger,
 		Retry:           policy,
 		StageTimeout:    *stageTimeout,
+		CommitInterval:  *commitInterval,
+		CommitBytes:     *commitBytes,
 
 		TickInterval:        *tick,
 		EventBuffer:         *eventBuffer,

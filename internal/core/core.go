@@ -131,6 +131,12 @@ type Runner struct {
 	InstallTree string
 	// PerflogRoot receives perflog entries; empty disables logging.
 	PerflogRoot string
+	// Log, when non-nil, receives perflog entries instead of one-shot
+	// Append calls against PerflogRoot. benchd wires its group-commit
+	// *perflog.Writer here so concurrent workers' append stages share
+	// commits (one write + one fsync per batch); the CLI leaves it nil
+	// and keeps the one-shot path.
+	Log perflog.Appender
 	// RebuildEveryRun enforces Principle 3 (default in New).
 	RebuildEveryRun bool
 	// Backfill enables EASY backfilling on the simulated batch

@@ -400,14 +400,27 @@ func (r *Runner) RunContext(ctx context.Context, b Benchmark, opts Options) (rep
 		entry.Extra["stage_"+name+"_s"] = fmt.Sprintf("%.6f", d)
 	}
 
-	if r.PerflogRoot != "" {
+	if log := r.appender(); log != nil {
 		if err := stage("append", false, func(context.Context) error {
-			return perflog.Append(r.PerflogRoot, sys.Name, b.Name(), entry)
+			return log.Append(sys.Name, b.Name(), entry)
 		}); err != nil {
 			return report, err
 		}
 	}
 	return report, nil
+}
+
+// appender resolves the perflog sink: the shared writer when one is
+// wired in (benchd's group-commit path), else one-shot appends under
+// PerflogRoot (the CLI), else nil — logging disabled.
+func (r *Runner) appender() perflog.Appender {
+	if r.Log != nil {
+		return r.Log
+	}
+	if r.PerflogRoot != "" {
+		return perflog.TreeAppender(r.PerflogRoot)
+	}
+	return nil
 }
 
 // aggregateRepetitions reduces the measured repetitions' FOM maps to one

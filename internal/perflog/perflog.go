@@ -14,6 +14,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -44,31 +45,51 @@ func (e *Entry) Pass() bool { return e.Result == "pass" }
 
 // Line renders the entry as one perflog line. Field order is fixed and
 // FOMs/extras are sorted, so identical entries render identically.
+//
+// Rendering happens on every append — under the group-commit Writer,
+// inside each appender's hot path — so the line is built into a single
+// grown builder with no intermediate field slice, no per-field string
+// concatenation, and numeric fields appended via the strconv Append
+// forms.
 func (e *Entry) Line() string {
-	var parts []string
-	add := func(k, v string) {
-		parts = append(parts, k+"="+escape(v))
-	}
-	add("ts", e.Time.UTC().Format(time.RFC3339))
-	add("benchmark", e.Benchmark)
-	add("system", e.System)
-	add("partition", e.Partition)
-	add("environ", e.Environ)
-	add("spec", e.Spec)
-	add("job", strconv.Itoa(e.JobID))
-	add("result", e.Result)
+	var b strings.Builder
+	b.Grow(128 + 24*(len(e.Extra)+len(e.FOMs)))
+	var scratch [40]byte
+	b.WriteString("ts=")
+	b.Write(e.Time.UTC().AppendFormat(scratch[:0], time.RFC3339))
+	writeField(&b, "benchmark", e.Benchmark)
+	writeField(&b, "system", e.System)
+	writeField(&b, "partition", e.Partition)
+	writeField(&b, "environ", e.Environ)
+	writeField(&b, "spec", e.Spec)
+	b.WriteString("|job=")
+	b.Write(strconv.AppendInt(scratch[:0], int64(e.JobID), 10))
+	writeField(&b, "result", e.Result)
 	for _, k := range sortedKeys(e.Extra) {
-		add(k, e.Extra[k])
+		writeField(&b, k, e.Extra[k])
 	}
 	for _, k := range sortedFOMKeys(e.FOMs) {
 		v := e.FOMs[k]
-		text := strconv.FormatFloat(v.Value, 'g', -1, 64)
+		b.WriteString("|fom:")
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.Write(strconv.AppendFloat(scratch[:0], v.Value, 'g', -1, 64))
 		if v.Unit != "" {
-			text += " " + v.Unit
+			b.WriteByte(' ')
+			writeEscaped(&b, v.Unit)
 		}
-		add("fom:"+k, text)
 	}
-	return strings.Join(parts, "|")
+	return b.String()
+}
+
+// writeField appends "|key=value" with the value escaped. Keys are
+// trusted (fixed field names and caller-controlled extras, as in the
+// original join-based renderer).
+func writeField(b *strings.Builder, key, val string) {
+	b.WriteByte('|')
+	b.WriteString(key)
+	b.WriteByte('=')
+	writeEscaped(b, val)
 }
 
 // ParseLine decodes one perflog line.
@@ -136,6 +157,28 @@ func escape(s string) string {
 	return s
 }
 
+// writeEscaped is escape writing into a builder: the common clean value
+// is copied in one WriteString, and each original byte maps to its
+// escape sequence independently, so the output matches escape exactly.
+func writeEscaped(b *strings.Builder, s string) {
+	if !strings.ContainsAny(s, "\\|\n") {
+		b.WriteString(s)
+		return
+	}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '|':
+			b.WriteString(`\p`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+}
+
 func unescape(s string) string {
 	var b strings.Builder
 	for i := 0; i < len(s); i++ {
@@ -172,11 +215,18 @@ func unescape(s string) string {
 // the whole point of a benchmark run, and perflogs are their only
 // durable record (Principle 6).
 //
-// Injection points: "perflog.open" fires before the file opens,
-// "perflog.sync" before the fsync — the crash-mid-run cases the chaos
-// suite exercises.
+// Injection points: "perflog.open" models the open failing,
+// "perflog.sync" the fsync failing — the crash-mid-run cases the chaos
+// suite exercises. Both fire before any byte is written, so an injected
+// fault never leaves landed-but-unacknowledged bytes behind: chaos
+// harnesses can arm either point on any write path and still account
+// for every line exactly. (A real fsync error after the write does
+// carry that ambiguity; it is surfaced but cannot be injected.)
 func Append(root, system, benchmark string, entries ...*Entry) error {
 	if err := faultinject.Fire("perflog.open"); err != nil {
+		return fmt.Errorf("perflog: %w", err)
+	}
+	if err := faultinject.Fire("perflog.sync"); err != nil {
 		return fmt.Errorf("perflog: %w", err)
 	}
 	dir := filepath.Join(root, system)
@@ -194,10 +244,6 @@ func Append(root, system, benchmark string, entries ...*Entry) error {
 		buf.WriteByte('\n')
 	}
 	if _, err := f.WriteString(buf.String()); err != nil {
-		f.Close()
-		return fmt.Errorf("perflog: %w", err)
-	}
-	if err := faultinject.Fire("perflog.sync"); err != nil {
 		f.Close()
 		return fmt.Errorf("perflog: %w", err)
 	}
@@ -251,16 +297,18 @@ func ReadFrom(r io.Reader) ([]*Entry, error) {
 // systems" are collated in one pass.
 func ReadTree(root string) ([]*Entry, error) {
 	var out []*Entry
-	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
-		if info.IsDir() || !strings.HasSuffix(path, ".log") {
+		if d.IsDir() || !strings.HasSuffix(path, ".log") {
 			return nil
 		}
 		entries, err := Read(path)
 		if err != nil {
-			return err
+			// Read's errors name the line but not the file; a tree walk
+			// without the path would leave the bad log unidentifiable.
+			return fmt.Errorf("%s: %w", path, err)
 		}
 		out = append(out, entries...)
 		return nil

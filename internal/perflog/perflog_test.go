@@ -279,11 +279,10 @@ func TestAppendSurfacesSyncFault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The faulted append's bytes may or may not have landed (the fault
-	// models a crash between write and sync); what matters is that every
-	// line present is whole and the acknowledged entry is among them.
-	if len(entries) == 0 {
-		t.Fatal("acknowledged entry missing from the log")
+	// Injected sync faults fire before the write, so the faulted append
+	// left nothing behind: exactly the acknowledged entry is present.
+	if len(entries) != 1 {
+		t.Fatalf("log holds %d entries after one faulted and one acknowledged append, want 1", len(entries))
 	}
 }
 

@@ -1,0 +1,160 @@
+package perfstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/perflog"
+)
+
+// writerStore opens a store over a fresh root and returns a
+// group-commit Writer whose durable commits feed Store.AddBatch — the
+// benchd wiring, reproduced at package scope.
+func writerStore(t *testing.T) (*Store, *perflog.Writer) {
+	t.Helper()
+	s := Open(t.TempDir())
+	w := perflog.NewWriter(s.Root(), perflog.WriterOptions{
+		OnCommit: func(c perflog.Commit) { s.AddBatch(c) },
+	})
+	t.Cleanup(func() { w.Close() })
+	return s, w
+}
+
+// TestAddBatchIngestsCommitWithoutRereading: entries committed through
+// the Writer are queryable the moment Append acks, and the store never
+// reads the file to get them — zero bytes parsed, and the follow-up
+// SyncFile is a checkpoint no-op. A cold store over the same tree sees
+// the same entries, proving file and index content agree.
+func TestAddBatchIngestsCommitWithoutRereading(t *testing.T) {
+	s, w := writerStore(t)
+	for i := 1; i <= 3; i++ {
+		e := entry("archer2", "hpgmg-fv", i, t0.Add(time.Duration(i)*time.Hour), map[string]float64{"l0": 95})
+		if err := w.Append("archer2", "hpgmg-fv", e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Len(); got != 3 {
+		t.Fatalf("store holds %d entries after 3 acked appends, want 3", got)
+	}
+	if st := s.Stats(); st.BytesParsed != 0 {
+		t.Fatalf("commit ingest parsed %d bytes, want 0 (entries arrive pre-parsed)", st.BytesParsed)
+	}
+	// The retried reconciliation sync benchd workers issue must find the
+	// checkpoint already past the committed bytes.
+	path := filepath.Join(s.Root(), "archer2", "hpgmg-fv.log")
+	if err := s.SyncFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.BytesParsed != 0 {
+		t.Fatalf("re-sync after commit ingest parsed %d bytes, want 0", st.BytesParsed)
+	}
+	// Cold boot over the same tree: the file alone reproduces the index.
+	cold := Open(s.Root())
+	if err := cold.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Len() != s.Len() {
+		t.Fatalf("cold store holds %d entries, live store %d", cold.Len(), s.Len())
+	}
+}
+
+// TestAddBatchDeclinesOnOffsetMismatch: a commit whose start offset
+// does not match the file checkpoint (out-of-band bytes landed first)
+// is declined, and the fallback SyncFile parses both the gap and the
+// commit from the file — nothing is lost or double-counted.
+func TestAddBatchDeclinesOnOffsetMismatch(t *testing.T) {
+	s := Open(t.TempDir())
+	// An out-of-band one-shot append lands before the writer's commit.
+	oob := entry("archer2", "hpgmg-fv", 1, t0, map[string]float64{"l0": 94})
+	if err := perflog.Append(s.Root(), "archer2", "hpgmg-fv", oob); err != nil {
+		t.Fatal(err)
+	}
+	var commits []perflog.Commit
+	w := perflog.NewWriter(s.Root(), perflog.WriterOptions{
+		OnCommit: func(c perflog.Commit) { commits = append(commits, c) },
+	})
+	defer w.Close()
+	e := entry("archer2", "hpgmg-fv", 2, t0.Add(time.Hour), map[string]float64{"l0": 95})
+	if err := w.Append("archer2", "hpgmg-fv", e); err != nil {
+		t.Fatal(err)
+	}
+	if len(commits) != 1 {
+		t.Fatalf("saw %d commits, want 1", len(commits))
+	}
+	if s.AddBatch(commits[0]) {
+		t.Fatal("AddBatch accepted a commit with unknown bytes before it")
+	}
+	if got := s.Len(); got != 0 {
+		t.Fatalf("declined commit still added %d entries", got)
+	}
+	// Fallback: the file itself carries both lines.
+	if err := s.SyncFile(commits[0].Path); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Len(); got != 2 {
+		t.Fatalf("fallback sync ingested %d entries, want 2", got)
+	}
+	if st := s.Stats(); st.BytesParsed == 0 {
+		t.Fatal("fallback sync should have parsed the file bytes")
+	}
+}
+
+// TestAddBatchEmptyCommitAccepted: a zero-entry commit is vacuously
+// ingested and moves nothing.
+func TestAddBatchEmptyCommitAccepted(t *testing.T) {
+	s := Open(t.TempDir())
+	if !s.AddBatch(perflog.Commit{}) {
+		t.Fatal("empty commit declined")
+	}
+	if s.Len() != 0 || s.Generation() != 0 {
+		t.Fatal("empty commit mutated the store")
+	}
+}
+
+// TestAddBatchBumpsGenerationOncePerCommit: query caches are
+// invalidated once per durable commit, not once per entry — the
+// ingest-side half of the group-commit amortization.
+func TestAddBatchBumpsGenerationOncePerCommit(t *testing.T) {
+	s := Open(t.TempDir())
+	var entries []*perflog.Entry
+	for i := 1; i <= 8; i++ {
+		entries = append(entries, entry("archer2", "hpgmg-fv", i, t0.Add(time.Duration(i)*time.Hour), map[string]float64{"l0": 95}))
+	}
+	path := filepath.Join(s.Root(), "archer2", "hpgmg-fv.log")
+	if err := perflog.Append(s.Root(), "archer2", "hpgmg-fv", entries...); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Generation()
+	if !s.AddBatch(perflog.Commit{
+		Path: path, System: "archer2", Benchmark: "hpgmg-fv",
+		Entries: entries, Offset: 0, Bytes: fi.Size(),
+	}) {
+		t.Fatal("commit at offset 0 of a fresh checkpoint declined")
+	}
+	if got := s.Generation() - before; got != 1 {
+		t.Fatalf("generation moved %d times for one 8-entry commit, want 1", got)
+	}
+	if s.Len() != 8 {
+		t.Fatalf("store holds %d entries, want 8", s.Len())
+	}
+}
+
+// TestSyncFileBumpsGenerationOncePerFile: the parse path gets the same
+// amortization — one generation bump per synced file, however many
+// lines it carries.
+func TestSyncFileBumpsGenerationOncePerFile(t *testing.T) {
+	s := Open(seedTree(t))
+	before := s.Generation()
+	if err := s.SyncFile(filepath.Join(s.Root(), "archer2", "hpgmg-fv.log")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Generation() - before; got != 1 {
+		t.Fatalf("generation moved %d times syncing a 3-line file, want 1", got)
+	}
+}

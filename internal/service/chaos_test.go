@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/eventbus"
 	"repro/internal/faultinject"
+	"repro/internal/fom"
 	"repro/internal/obs"
 	"repro/internal/perflog"
 	"repro/internal/perfstore"
@@ -38,16 +39,19 @@ import (
 	"repro/internal/telemetry"
 )
 
-// chaosSchedule arms three distinct fault classes in the hot paths —
-// transient scheduler rejections, transient build failures, and short
-// perfstore reads — plus occasional submission-path faults so clients
-// see honest 503s. perflog.sync faults are deliberately absent: a
-// sync-failed-but-landed write retried by a client would duplicate a
-// line, and that failure mode is covered (unretried) by the perflog
-// unit tests instead.
+// chaosSchedule arms distinct fault classes in the hot paths —
+// transient scheduler rejections, transient build failures, short
+// perfstore reads, and failed perflog commits — plus occasional
+// submission-path faults so clients see honest 503s. perflog.sync
+// faults fire against both write paths (the daemon's group-commit
+// Writer and the out-of-band one-shot appender below); the point fires
+// before any byte lands, so a faulted commit fails its whole batch
+// without acknowledging or stranding a line, and the exact-accounting
+// invariants below stay provable.
 const chaosSchedule = "scheduler.submit:error:rate=0.25," +
 	"buildsys.install:error:rate=0.2," +
 	"perfstore.read:short:bytes=64:every=7," +
+	"perflog.sync:error:every=6," +
 	"service.submit:error:rate=0.15:times=8," +
 	// Continuous-benchmarking paths: skipped scheduler ticks (schedules
 	// fire late, never twice), failed event publishes (bounded so the
@@ -138,6 +142,7 @@ func chaosSoak(t *testing.T, dataDir string) {
 	classBefore := map[string]float64{}
 	for _, pk := range [][2]string{
 		{"scheduler.submit", "error"}, {"buildsys.install", "error"}, {"perfstore.read", "short"},
+		{"perflog.sync", "error"},
 		{"cbsched.tick", "error"}, {"eventbus.publish", "error"},
 		{"obs.sample", "error"}, {"obs.profilecapture", "error"},
 		{"core.repetition", "error"},
@@ -347,6 +352,55 @@ func chaosSoak(t *testing.T, dataDir string) {
 		}(c)
 	}
 
+	// An out-of-band appender plays the benchctl-invocation role: one-shot
+	// perflog.Append calls against the same files the daemon's
+	// group-commit writer holds open. These bytes reach the store only by
+	// being parsed (the query path's Sync, or a worker's post-commit
+	// SyncFile) — which keeps the perfstore.read fault class drawing now
+	// that the daemon's own entries enter the store pre-parsed — and they
+	// move file offsets underneath the writer, forcing the store to
+	// decline stale commit notifications and fall back to parsing. An
+	// injected perflog.sync fault fails an append cleanly (nothing
+	// lands), so successes are countable exactly.
+	oobLanded := 0
+	var oobWG sync.WaitGroup
+	oobWG.Add(1)
+	go func() {
+		defer oobWG.Done()
+		for i := 0; i < 10; i++ {
+			e := &perflog.Entry{
+				Time:      time.Now().UTC(),
+				Benchmark: "babelstream-omp",
+				System:    systems[i%len(systems)],
+				Partition: "compute",
+				Environ:   "gcc",
+				Spec:      "babelstream@4.0%gcc",
+				JobID:     100000 + i,
+				Result:    "pass",
+				FOMs:      map[string]fom.Value{"oob_mbps": {Name: "oob_mbps", Value: 1000 + float64(i), Unit: "MB/s"}},
+				Extra:     map[string]string{"source": "benchctl-oob"},
+			}
+			err := perflog.Append(perflogRoot, e.System, e.Benchmark, e)
+			switch {
+			case err == nil:
+				oobLanded++
+				// Query immediately so the tail is parsed while this
+				// append is the only unparsed byte range: one parse
+				// event (and its perfstore.read draws) per landed
+				// append, independent of how slowly the background
+				// readers cycle under the race detector.
+				if resp, err := client.Get(ts.URL + "/v1/query?benchmark=babelstream-omp"); err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			case !faultinject.Is(err):
+				t.Errorf("out-of-band append failed for a non-injected reason: %v", err)
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
 	// Concurrent readers keep the query, metrics, and health paths hot
 	// while faults fire; anything other than 200 or a well-formed 503
 	// fails the suite.
@@ -379,6 +433,7 @@ func chaosSoak(t *testing.T, dataDir string) {
 		}()
 	}
 	wg.Wait()
+	oobWG.Wait()
 	close(stop)
 	readers.Wait()
 
@@ -576,9 +631,13 @@ func chaosSoak(t *testing.T, dataDir string) {
 		t.Fatalf("perflog tree corrupt after soak: %v", err)
 	}
 	// Invariant: exactly one line per completed run — client-submitted
-	// and scheduled both — nothing lost, nothing duplicated.
-	if len(entries) != len(completedAll) {
-		t.Errorf("perflog holds %d entries, %d runs completed (lost or duplicated results)", len(entries), len(completedAll))
+	// and scheduled both — plus one per acknowledged out-of-band append;
+	// nothing lost, nothing duplicated, even with perflog.sync faults
+	// failing whole commit batches along the way (acked ⇒ durable,
+	// faulted ⇒ nothing landed).
+	if len(entries) != len(completedAll)+oobLanded {
+		t.Errorf("perflog holds %d entries, want %d (%d completed runs + %d out-of-band appends) — lost or duplicated results",
+			len(entries), len(completedAll)+oobLanded, len(completedAll), oobLanded)
 	}
 	// Invariant: no partial repetition sets and no double-counted reps.
 	// An entry that declares a repetition protocol carries a complete,
@@ -653,6 +712,7 @@ func chaosSoak(t *testing.T, dataDir string) {
 	}
 	for _, pk := range [][2]string{
 		{"scheduler.submit", "error"}, {"buildsys.install", "error"}, {"perfstore.read", "short"},
+		{"perflog.sync", "error"},
 		{"cbsched.tick", "error"}, {"eventbus.publish", "error"},
 		{"obs.sample", "error"}, {"obs.profilecapture", "error"},
 		{"core.repetition", "error"},

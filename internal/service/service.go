@@ -44,6 +44,10 @@ var (
 	metricRunsInFlight = telemetry.DefaultRegistry.Gauge(
 		"benchd_runs_in_flight",
 		"Runs currently executing on the worker pool.").With()
+	metricIngestBatch = telemetry.DefaultRegistry.Histogram(
+		"benchd_ingest_batch_size",
+		"Entries entering the store per durable group commit.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128}).With()
 )
 
 // Config sizes the daemon.
@@ -89,6 +93,16 @@ type Config struct {
 	// StageTimeout bounds each pipeline stage attempt in executed runs
 	// (0 keeps the runner's default of no limit).
 	StageTimeout time.Duration
+	// CommitInterval is the perflog group-commit accumulation window: a
+	// commit batch is held open this long after its first entry before
+	// its single write+fsync, letting concurrent workers share the
+	// fsync at the cost of that much acknowledgement latency. 0 commits
+	// as soon as the committer is idle (batching still emerges under
+	// load from fsync backpressure).
+	CommitInterval time.Duration
+	// CommitBytes flushes a perflog commit batch early once its
+	// rendered bytes reach this size (default 1 MiB).
+	CommitBytes int
 	// TickInterval paces the recurring-suite scheduler's tick loop
 	// (default 1s).
 	TickInterval time.Duration
@@ -235,6 +249,11 @@ type Server struct {
 	cfg    Config
 	store  *perfstore.Store
 	runner *core.Runner
+	// writer is the shared group-commit perflog writer every worker's
+	// append stage goes through: concurrent runs coalesce into batches
+	// of one write + one fsync, and each durable commit feeds the store
+	// directly (see commitIngest).
+	writer *perflog.Writer
 	tracer *telemetry.Tracer
 	cache  *queryCache
 	bus    *eventbus.Bus
@@ -308,9 +327,6 @@ func New(cfg Config) (*Server, error) {
 	if cfg.StageTimeout > 0 {
 		runner.StageTimeout = cfg.StageTimeout
 	}
-	// The store is the single writer of the perflog tree for daemon
-	// runs: workers append through it so index and files stay in
-	// lockstep (Runner-side logging stays off).
 	s := &Server{
 		cfg:       cfg,
 		store:     store,
@@ -358,6 +374,17 @@ func New(cfg Config) (*Server, error) {
 	if err := s.loadAlerts(); err != nil {
 		return nil, err
 	}
+	// Every error return is behind us: start the write path, then the
+	// workers. The daemon's perflog writes all flow through this one
+	// group-commit writer via the runner's append stage, so concurrent
+	// runs share commits (one write + one fsync per batch) and each
+	// durable commit is handed straight to the store.
+	s.writer = perflog.NewWriter(store.Root(), perflog.WriterOptions{
+		MaxDelay: cfg.CommitInterval,
+		MaxBytes: cfg.CommitBytes,
+		OnCommit: s.commitIngest,
+	})
+	runner.Log = s.writer
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -459,6 +486,20 @@ func (s *Server) Store() *perfstore.Store { return s.store }
 // Runner exposes the pipeline runner so harnesses (the chaos suite) can
 // tune its retry policy and stage timeout before submitting work.
 func (s *Server) Runner() *core.Runner { return s.runner }
+
+// Writer exposes the shared group-commit perflog writer (tests flush
+// through it).
+func (s *Server) Writer() *perflog.Writer { return s.writer }
+
+// commitIngest runs on the writer's committer goroutine once per file
+// per durable commit: the batch's entries enter the store directly —
+// one shard pass, one generation bump — and the checkpoint advances
+// past the commit's bytes, so the worker-side SyncFile that follows
+// re-parses nothing the commit just made durable.
+func (s *Server) commitIngest(c perflog.Commit) {
+	metricIngestBatch.Observe(float64(len(c.Entries)))
+	s.store.AddBatch(c)
+}
 
 // SubmitRequest is one run submission: what to run, where, and under
 // which repetition protocol.
@@ -641,15 +682,15 @@ func (s *Server) execute(run *Run) {
 		return
 	}
 	entry := report.Entry
-	// Append and ingest are deliberately split here rather than going
-	// through store.Append: the perflog write is not idempotent (a retry
-	// after landed-but-unacknowledged bytes would duplicate the line) so
-	// it runs exactly once, while the checkpointed SyncFile is safe to
+	// The runner's append stage already wrote the entry through the
+	// shared group-commit writer (exactly once — the append is never
+	// retried, since a retry after landed-but-unacknowledged bytes
+	// would duplicate the line), and the commit's OnCommit hook fed it
+	// to the store. The retried SyncFile below is the idempotent
+	// reconciliation pass: normally a checkpoint no-op that re-parses
+	// zero bytes, it only reads when out-of-band appenders touched the
+	// file or a commit notification was declined, and it is safe to
 	// retry through transient store faults.
-	if err := perflog.Append(s.store.Root(), entry.System, entry.Benchmark, entry); err != nil {
-		s.fail(ctx, span, run, fmt.Errorf("run executed but perflog append failed: %w", err))
-		return
-	}
 	logPath := filepath.Join(s.store.Root(), entry.System, entry.Benchmark+".log")
 	if err := s.runner.Retry.Do(ctx, "benchd.ingest", func(context.Context, int) error {
 		return s.store.SyncFile(logPath)
@@ -819,6 +860,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.publish(eventbus.TypeServerShutdown, nil)
 		s.bus.Close()
 		return ctx.Err()
+	}
+	// Workers are drained: flush and close the group-commit writer so
+	// every acknowledged entry (and any batch still accumulating) is on
+	// disk and in the store before the final seal snapshots ingest
+	// checkpoints into segment watermarks.
+	if err := s.writer.Close(); err != nil {
+		s.cfg.Logger.Error("perflog writer close failed", "error", err.Error())
 	}
 	// The sampler stops — flushing its final history snapshot — before
 	// the final seal, so the persisted history covers the daemon's whole

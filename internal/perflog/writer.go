@@ -21,8 +21,8 @@ var (
 		"perflog_commits_total",
 		"Group commits by the perflog writer, by outcome.",
 		"status")
-	metricCommitsOK    = metricCommitVec.With("ok")
-	metricCommitsError = metricCommitVec.With("error")
+	metricCommitsOK     = metricCommitVec.With("ok")
+	metricCommitsError  = metricCommitVec.With("error")
 	metricCommitEntries = telemetry.DefaultRegistry.Histogram(
 		"perflog_commit_entries",
 		"Entries made durable per group commit.",
@@ -53,10 +53,11 @@ func (root TreeAppender) Append(system, benchmark string, entries ...*Entry) err
 
 // Commit describes one file's slice of a durable group commit: the
 // entries that landed, and exactly where their bytes sit in the file.
-// Offset is the file size observed immediately before the commit's
-// write, so Offset+Bytes is the file size after it — a store holding a
-// checkpoint at Offset can account the whole commit without re-reading
-// the file.
+// Offset is derived from the descriptor position after the O_APPEND
+// write — the true landing offset even if an out-of-band append raced
+// in first — so Offset+Bytes is the file size after the commit and a
+// store holding a checkpoint at Offset can account the whole commit
+// without re-reading the file.
 type Commit struct {
 	Path      string
 	System    string
@@ -114,9 +115,10 @@ type Writer struct {
 	root string
 	opt  WriterOptions
 
-	mu     sync.Mutex
-	cur    *writeBatch
-	closed bool
+	mu       sync.Mutex
+	cur      *writeBatch
+	inflight *writeBatch // detached by the committer, verdict pending
+	closed   bool
 
 	wake   chan struct{} // buffered(1): batch opened, committer has work
 	stop   chan struct{}
@@ -224,12 +226,18 @@ func (w *Writer) Append(system, benchmark string, entries ...*Entry) error {
 
 // Flush forces the open batch (if any) to commit without waiting out
 // the accumulation window, and blocks until its durability verdict.
+// With no open batch but a commit in flight, Flush waits for that
+// commit's verdict instead — so a nil return always means everything
+// enqueued before the call is durable.
 func (w *Writer) Flush() error {
 	w.mu.Lock()
 	b := w.cur
 	if b != nil && !b.fullOnce {
 		b.fullOnce = true
 		close(b.full)
+	}
+	if b == nil {
+		b = w.inflight
 	}
 	w.mu.Unlock()
 	if b == nil {
@@ -305,12 +313,21 @@ func (w *Writer) commitNext(draining bool) {
 	w.mu.Lock()
 	b = w.cur
 	w.cur = nil
+	w.inflight = b
 	w.mu.Unlock()
 	if b == nil {
 		return
 	}
 	b.err = w.commit(b)
+	// Deliver the verdict before forgetting the in-flight batch: a Flush
+	// that finds inflight nil may return nil, which is only sound once
+	// done is closed and every waiter can read err.
 	close(b.done)
+	w.mu.Lock()
+	if w.inflight == b {
+		w.inflight = nil
+	}
+	w.mu.Unlock()
 }
 
 // commit makes one batch durable: one write and one fsync per target
@@ -343,18 +360,7 @@ func (w *Writer) commit(b *writeBatch) error {
 			metricCommitsError.Inc()
 			return err
 		}
-		// The size before the write is the commit's start offset: the
-		// descriptor is O_APPEND, so the bytes land exactly there unless
-		// an out-of-band appender races in (in which case the store-side
-		// checkpoint comparison rejects the stale offset and falls back
-		// to parsing the file).
-		off, err := f.Seek(0, io.SeekEnd)
-		if err != nil {
-			w.drop(key)
-			metricCommitsError.Inc()
-			return fmt.Errorf("perflog: %s: %w", path, err)
-		}
-		stage = append(stage, staged{g: g, key: key, path: path, f: f, off: off})
+		stage = append(stage, staged{g: g, key: key, path: path, f: f})
 	}
 	for i := range stage {
 		st := &stage[i]
@@ -363,6 +369,22 @@ func (w *Writer) commit(b *writeBatch) error {
 			metricCommitsError.Inc()
 			return fmt.Errorf("perflog: %s: %w", st.path, err)
 		}
+		// The landing offset must come from the descriptor position
+		// *after* the write: O_APPEND means an out-of-band appender can
+		// slip bytes in ahead of us, and an offset sampled before the
+		// write would then point into the middle of our own bytes — the
+		// store would accept it (it still matches its checkpoint) and
+		// advance the checkpoint over bytes it never ingested. The
+		// post-write position is the truth; a raced commit carries an
+		// offset past the checkpoint, AddBatch declines it, and SyncFile
+		// parses the gap from the file.
+		pos, err := st.f.Seek(0, io.SeekCurrent)
+		if err != nil {
+			w.drop(st.key)
+			metricCommitsError.Inc()
+			return fmt.Errorf("perflog: %s: %w", st.path, err)
+		}
+		st.off = pos - int64(len(st.g.buf))
 	}
 	for i := range stage {
 		st := &stage[i]

@@ -402,3 +402,116 @@ func TestWriterManyFilesOneBatch(t *testing.T) {
 		}
 	}
 }
+
+// TestWriterCommitOffsetTrueUnderOOBAppends is the regression for the
+// stale-offset race: out-of-band one-shot Appends hammer the same file
+// the Writer is committing to, so bytes can land between the Writer's
+// descriptor operations and its write. Every reported Commit extent
+// [Offset, Offset+Bytes) must still contain exactly that commit's
+// rendered lines — an offset sampled before the write would point at
+// the out-of-band bytes instead, and a store trusting it would skip
+// them and mis-advance its checkpoint into the commit's own bytes.
+func TestWriterCommitOffsetTrueUnderOOBAppends(t *testing.T) {
+	root := t.TempDir()
+	var mu sync.Mutex
+	var commits []Commit
+	w := NewWriter(root, WriterOptions{OnCommit: func(c Commit) {
+		mu.Lock()
+		commits = append(commits, c)
+		mu.Unlock()
+	}})
+	const viaWriter, oob = 64, 64
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < viaWriter; i++ {
+			e := sampleEntry()
+			e.JobID = i
+			if err := w.Append("archer2", "hpgmg-fv", e); err != nil {
+				t.Errorf("writer append %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < oob; i++ {
+			e := sampleEntry()
+			e.JobID = viaWriter + i
+			if err := Append(root, "archer2", "hpgmg-fv", e); err != nil {
+				t.Errorf("oob append %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(root, "archer2", "hpgmg-fv.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	committed := 0
+	for _, c := range commits {
+		committed += len(c.Entries)
+		if c.Offset+c.Bytes > int64(len(raw)) {
+			t.Fatalf("commit extent [%d,%d) beyond file size %d", c.Offset, c.Offset+c.Bytes, len(raw))
+		}
+		var want []byte
+		for _, e := range c.Entries {
+			want = append(want, e.Line()...)
+			want = append(want, '\n')
+		}
+		if got := raw[c.Offset : c.Offset+c.Bytes]; string(got) != string(want) {
+			t.Fatalf("commit extent [%d,%d) holds other bytes:\n got %q\nwant %q",
+				c.Offset, c.Offset+c.Bytes, got, want)
+		}
+	}
+	if committed != viaWriter {
+		t.Fatalf("commits carried %d entries, want %d", committed, viaWriter)
+	}
+	entries, err := ReadTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != viaWriter+oob {
+		t.Fatalf("tree holds %d entries, want %d", len(entries), viaWriter+oob)
+	}
+}
+
+// TestWriterFlushWaitsForInflightCommit: Flush called while the batch
+// is already detached and mid-commit (cur is nil, verdict pending) must
+// block until that commit's durability verdict instead of returning nil
+// early — otherwise a caller could Flush, read the store, and miss
+// entries whose fsync had not yet happened.
+func TestWriterFlushWaitsForInflightCommit(t *testing.T) {
+	root := t.TempDir()
+	hold := make(chan struct{})
+	entered := make(chan struct{})
+	w := NewWriter(root, WriterOptions{OnCommit: func(Commit) {
+		close(entered)
+		<-hold
+	}})
+	defer w.Close()
+	appendDone := make(chan error, 1)
+	go func() { appendDone <- w.Append("archer2", "hpgmg-fv", sampleEntry()) }()
+	<-entered // committer is inside the commit: cur nil, verdict pending
+	flushDone := make(chan error, 1)
+	go func() { flushDone <- w.Flush() }()
+	select {
+	case err := <-flushDone:
+		t.Fatalf("Flush returned %v while a commit was still in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(hold)
+	if err := <-flushDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-appendDone; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -16,7 +16,7 @@ func FuzzRepetitionExtras(f *testing.F) {
 	f.Add(3, 95.361, 1.25, 0.013, 94.2, 96.5)
 	f.Add(1, 0.0, 0.0, 0.0, 0.0, 0.0)
 	f.Add(5, -1e300, 1e-300, 0.5, math.Inf(-1), math.Inf(1))
-	f.Add(100, 1.0 / 3.0, 2.0 / 7.0, 0.1, 0.3, 0.4)
+	f.Add(100, 1.0/3.0, 2.0/7.0, 0.1, 0.3, 0.4)
 	f.Add(2, math.NaN(), 0.0, 0.0, 0.0, 0.0)
 	f.Fuzz(func(t *testing.T, n int, mean, stddev, rsd, ciLo, ciHi float64) {
 		if n < 1 || n > 1_000_000 {

@@ -851,10 +851,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 	case <-ctx.Done():
-		// Even on a deadline we still terminate streams: subscribers get
-		// the terminal event (or ErrClosed) instead of hanging. Firing
-		// alerts resolve first so no watcher's last view of an alert is a
-		// dangling fire.
+		// Even on a deadline the writer closes: the accumulating batch is
+		// force-flushed (acked ⇒ durable holds for whatever made it in),
+		// appenders blocked on it are released now rather than after
+		// MaxDelay, and the cached descriptors don't leak. Appends racing
+		// the close fail with ErrWriterClosed — their runs were never
+		// acknowledged, so nothing durable is lost.
+		if err := s.writer.Close(); err != nil {
+			s.cfg.Logger.Error("perflog writer close failed", "error", err.Error())
+		}
+		// We still terminate streams: subscribers get the terminal event
+		// (or ErrClosed) instead of hanging. Firing alerts resolve first
+		// so no watcher's last view of an alert is a dangling fire.
 		s.obs.ResolveFiring(obs.ResolveShutdown)
 		s.obs.Stop()
 		s.publish(eventbus.TypeServerShutdown, nil)
